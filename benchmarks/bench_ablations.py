@@ -1,0 +1,41 @@
+"""Design-choice ablations (DESIGN.md): sequence length, Debug-Buffer
+size, misprediction threshold, and offline-training ingredients."""
+
+from repro.analysis.ablations import (
+    ablate_debug_buffer,
+    ablate_seq_len,
+    ablate_threshold,
+    ablate_training_ingredients,
+    format_ablations,
+)
+
+
+def _run_all():
+    seq_pts = ablate_seq_len()
+    buf_pts = ablate_debug_buffer()
+    thr_pts = ablate_threshold()
+    train_rows = ablate_training_ingredients()
+    return seq_pts, buf_pts, thr_pts, train_rows
+
+
+def test_ablations(benchmark, save_result):
+    seq_pts, buf_pts, thr_pts, train_rows = benchmark.pedantic(
+        _run_all, rounds=1, iterations=1)
+    save_result("ablations",
+                format_ablations(seq_pts, buf_pts, thr_pts, train_rows))
+
+    # Longer histories help or match: N=5 diagnoses what N=1 does.
+    by_n = {p.seq_len: p for p in seq_pts}
+    assert by_n[max(by_n)].found
+
+    # MySQL#1: undersized buffers lose the root cause, large ones keep it.
+    assert not min(buf_pts, key=lambda p: p.size).found
+    assert max(buf_pts, key=lambda p: p.size).found
+
+    # A lower threshold reacts to new code at least as eagerly.
+    thr_sorted = sorted(thr_pts, key=lambda p: p.threshold)
+    assert thr_sorted[0].mode_switches >= thr_sorted[-1].mode_switches
+
+    # The full training recipe diagnoses the overflow bug.
+    by_variant = {r.variant: r for r in train_rows}
+    assert by_variant["full"].found

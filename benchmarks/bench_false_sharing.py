@@ -1,0 +1,28 @@
+"""Impact of false sharing and last-writer simplifications (Section V).
+
+Paper shape: at the deployment line size the misprediction increase
+from line-granularity metadata is insignificant; the ablation shows the
+effect growing for line sizes beyond what training assumed, and
+word-granularity metadata eliminating wrong-writer attribution.
+"""
+
+from repro.analysis.false_sharing import (
+    format_false_sharing,
+    run_false_sharing,
+)
+
+
+def test_false_sharing(benchmark, preset, save_result):
+    rows = benchmark.pedantic(run_false_sharing, args=(preset,),
+                              rounds=1, iterations=1)
+    save_result("false_sharing", format_false_sharing(rows))
+
+    word_rows = [r for r in rows if r.word_granularity]
+    for r in word_rows:
+        assert r.wrong_writer_pct == 0.0
+    # At/below the trained 64B line size, misprediction stays small.
+    at_default = [r for r in rows
+                  if not r.word_granularity and r.line_size <= 64]
+    if at_default:
+        avg = sum(r.mispred_pct for r in at_default) / len(at_default)
+        assert avg < 10.0, f"misprediction at <=64B lines: {avg:.1f}%"

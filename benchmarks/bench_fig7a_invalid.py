@@ -1,0 +1,18 @@
+"""Figure 7(a): false-negative rate on synthesized invalid dependences.
+
+Paper shape: the trained networks catch nearly all intentionally
+invalid dependences (average misprediction ~0.18 %).
+"""
+
+from repro.analysis.fig7a import format_fig7a, run_fig7a
+
+
+def test_fig7a_invalid_deps(benchmark, preset, save_result):
+    points = benchmark.pedantic(run_fig7a, args=(preset,),
+                                rounds=1, iterations=1)
+    save_result("fig7a_invalid", format_fig7a(points))
+
+    tested = [p for p in points if p.n_invalid_tested > 0]
+    assert tested
+    avg = sum(p.false_negative_pct for p in tested) / len(tested)
+    assert avg < 25.0, f"average false-negative {avg:.2f}% too high"

@@ -1,0 +1,20 @@
+"""Figure 7(b): adaptivity -- predicting never-seen code.
+
+Paper shape: ~94 % of a held-out function's communications are
+predicted correctly (6.16 % incorrect on average), versus a rigid
+PSet-style invariant scheme that flags every genuinely new dependence.
+"""
+
+from repro.analysis.fig7b import format_fig7b, run_fig7b
+
+
+def test_fig7b_adaptivity(benchmark, preset, save_result):
+    points = benchmark.pedantic(run_fig7b, args=(preset,),
+                                rounds=1, iterations=1)
+    save_result("fig7b_adaptivity", format_fig7b(points))
+
+    assert points
+    avg = sum(p.incorrect_pct for p in points) / len(points)
+    assert avg < 25.0, f"average incorrect {avg:.1f}% too high"
+    for p in points:
+        assert p.incorrect_pct <= p.pset_violation_pct

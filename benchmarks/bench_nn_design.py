@@ -1,0 +1,21 @@
+"""NN design comparison: ACT's 3-stage pipeline vs a fully configurable
+time-multiplexed accelerator (paper contribution 3).
+
+Paper shape: the partially configurable pipeline sustains one input per
+T cycles while the multiplexed design pays scheduling overhead and
+cannot overlap inputs -- ACT wins throughput at every multiply-add
+configuration.
+"""
+
+from repro.analysis.nn_design import format_nn_design, run_nn_design
+
+
+def test_nn_design(benchmark, preset, save_result):
+    rows = benchmark.pedantic(run_nn_design, args=(preset,),
+                              rounds=1, iterations=1)
+    save_result("nn_design", format_nn_design(rows))
+
+    for r in rows:
+        assert r.act_test_interval < r.mux_test_interval
+        assert r.act_train_interval == 4 * r.act_test_interval
+        assert r.throughput_advantage > 1.0

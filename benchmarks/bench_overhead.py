@@ -1,0 +1,22 @@
+"""Execution overhead of ACT (Section VI goal iii).
+
+Paper shape: single-digit average overhead at the default configuration
+(paper: 8.2 %), rising sharply with fewer multiply-add units (longer
+neuron latency) and falling with deeper input FIFOs.
+"""
+
+from repro.analysis.overhead import format_overhead, run_overhead
+
+
+def test_overhead(benchmark, preset, save_result):
+    study = benchmark.pedantic(run_overhead, args=(preset,),
+                               rounds=1, iterations=1)
+    save_result("overhead", format_overhead(study))
+
+    assert 0.0 <= study.avg_default_pct < 30.0
+    # More multiply-add units -> shorter neuron latency -> less overhead.
+    xs = sorted(study.muladd_sweep)
+    assert study.muladd_sweep[xs[0]] >= study.muladd_sweep[xs[-1]]
+    # Deeper FIFO absorbs bursts.
+    fs = sorted(study.fifo_sweep)
+    assert study.fifo_sweep[fs[0]] >= study.fifo_sweep[fs[-1]]

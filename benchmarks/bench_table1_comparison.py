@@ -1,0 +1,9 @@
+"""Table I: qualitative scheme comparison (static)."""
+
+from repro.analysis.table1 import format_table1, run_table1
+
+
+def test_table1(benchmark, save_result):
+    rows = benchmark(run_table1)
+    assert ("ACT", "yes", "yes", "yes") in rows
+    save_result("table1_comparison", format_table1())

@@ -1,0 +1,22 @@
+"""Table IV: per-program topology search and misprediction rates.
+
+Paper shape: very low false-positive rates (average ~0.45 %), with a
+couple of programs (bc-like, input-dependent) noticeably harder than
+the regular scientific kernels.
+"""
+
+from repro.analysis.table4 import format_table4, run_table4
+
+
+def test_table4_training(benchmark, preset, save_result):
+    rows = benchmark.pedantic(run_table4, args=(preset,),
+                              rounds=1, iterations=1)
+    save_result("table4_training", format_table4(rows))
+
+    assert {r.program for r in rows} == set(preset.table4_programs)
+    avg = sum(r.mispred_pct for r in rows) / len(rows)
+    # Shape check: low average false-positive rate.
+    assert avg < 10.0, f"average misprediction {avg:.2f}% too high"
+    for r in rows:
+        i, h, _ = map(int, r.topology.split("-"))
+        assert 1 <= i <= 10 and 1 <= h <= 10

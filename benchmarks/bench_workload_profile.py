@@ -1,0 +1,38 @@
+"""Workload characterisation table (methodology-section material).
+
+Not a numbered table in the paper, but the communication profile that
+explains the other results: which programs share data across threads
+(the invariants PBI/Aviso also see), how many unique dependences each
+exposes (Table IV's learning problem size), and where multi-writer
+lines make false sharing possible.
+"""
+
+from repro.analysis.scale import workload_params
+from repro.sim.trace_stats import profile_run, profile_table
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+def _profile_all(preset):
+    profiles = []
+    for name in preset.overhead_programs:
+        run = run_program(get_kernel(name), seed=1,
+                          **workload_params(name, preset.overhead_scale))
+        profiles.append(profile_run(run, name=name))
+    return profiles
+
+
+def test_workload_profile(benchmark, preset, save_result):
+    profiles = benchmark.pedantic(_profile_all, args=(preset,),
+                                  rounds=1, iterations=1)
+    save_result("workload_profile", profile_table(profiles))
+
+    by_name = {p.name: p for p in profiles}
+    # Multithreaded kernels communicate across threads...
+    for name in ("lu", "fft", "ocean"):
+        if name in by_name:
+            assert by_name[name].inter_thread_pct > 0
+    # ...sequential ones don't.
+    for name in ("bzip2", "mcf", "bc"):
+        if name in by_name:
+            assert by_name[name].inter_thread_pct == 0

@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper and writes
+the rendered rows to ``benchmarks/results/<name>.txt`` (and stdout).
+Scale is chosen with ``REPRO_PRESET`` (fast | bench | full); the
+default ``bench`` runs the paper protocol with a trimmed topology grid.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.presets import preset_from_env
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return preset_from_env()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, text):
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return path
+
+    return _save

@@ -1,0 +1,67 @@
+"""The escape hatch: teaching ACT a bug it missed (Section III.C).
+
+If the network predicts an invalid sequence as valid, the failure goes
+undiagnosed. The paper's answer: once the programmer pins down the
+invalid dependence by other means, it is fed back as a negative example
+-- after which ACT catches every recurrence immediately.
+
+This demo deliberately cripples offline training (no negative
+augmentation) so the TinyBug-style wild read slips through, then closes
+the loop with ``train_negative_feedback``.
+
+Run:  python examples/feedback_loop.py
+"""
+
+from repro.core import ACTConfig
+from repro.core.deploy import deploy_on_run
+from repro.core.offline import OfflineTrainer, collect_correct_runs
+from repro.workloads import get_kernel, run_program
+
+
+def main():
+    program = get_kernel("taskgraphbug")
+    config = ACTConfig()
+
+    print("=== Negative-feedback loop ===\n")
+
+    # A deliberately weak training run: positives only.
+    trainer = OfflineTrainer(config=config, augment_negatives=False)
+    trained = trainer.train(program, n_runs=8, buggy=False)
+
+    failure = run_program(program, seed=9, buggy=True)
+    truth = failure.meta["root_cause"]
+    result = deploy_on_run(trained, failure)
+    caught = [e for e in result.debug_entries()
+              if any((d.store_pc, d.load_pc) in truth for d in e.seq)]
+    print(f"First failure: {failure.failure}")
+    print(f"  weakly-trained ACT logged the root cause: "
+          f"{'yes' if caught else 'NO -- failure undiagnosed'}")
+
+    if not caught:
+        # The programmer eventually pins down the buggy sequence (here
+        # we reconstruct it from the ground truth) and feeds it back.
+        from repro.trace.raw import extract_raw_deps, dep_sequences
+        streams = extract_raw_deps(failure)
+        bad_windows = []
+        for stream in streams.values():
+            for seq in dep_sequences(stream, config.seq_len):
+                if any((d.store_pc, d.load_pc) in truth for d in seq):
+                    bad_windows.append(seq)
+        support = collect_correct_runs(program, 5, seed0=50, buggy=False)
+        n = trained.train_negative_feedback(bad_windows,
+                                            support_runs=support)
+        print(f"  fed {len(bad_windows)} confirmed-invalid window(s) "
+              f"back into {n} weight set(s)")
+
+    # The bug strikes again...
+    second = run_program(program, seed=31, buggy=True)
+    result2 = deploy_on_run(trained, second)
+    caught2 = [e for e in result2.debug_entries()
+               if any((d.store_pc, d.load_pc) in truth for d in e.seq)]
+    print(f"\nSecond failure (different interleaving seed): root cause "
+          f"logged: {'yes' if caught2 else 'no'}")
+    print("The recurrence is now diagnosable from its single failure run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Hardware-cost study: what ACT's monitoring costs at run time.
+
+Replays kernels through the Table III multicore model with and without
+the per-core ACT modules. The only slowdown mechanism is back-pressure:
+a load whose RAW dependence forms may not retire until the NN
+pipeline's input FIFO accepts it, and the pipeline drains one input
+every T cycles (4T while online training). Sweeping the multiply-add
+units per neuron moves T, reproducing the paper's overhead knob.
+
+Run:  python examples/overhead_study.py
+"""
+
+from repro.core import ACTConfig
+from repro.core.offline import OfflineTrainer
+from repro.sim import MachineParams
+from repro.sim.machine import measure_overhead
+from repro.workloads import get_kernel, run_program
+from repro.analysis.scale import workload_params
+
+KERNELS = ("lu", "fft", "ocean", "canneal", "mcf")
+
+
+def main():
+    config = ACTConfig()
+    machine = MachineParams(n_cores=config.n_cores,
+                            line_size=config.line_size)
+
+    print("=== ACT execution overhead (Table III machine) ===\n")
+    print(f"{'kernel':14s} {'base cycles':>12s} {'ACT cycles':>11s} "
+          f"{'overhead':>9s} {'stalled deps':>13s}")
+    overheads = []
+    trained_cache = {}
+    for name in KERNELS:
+        params = workload_params(name, "large")
+        trained = OfflineTrainer(config=config).train(
+            get_kernel(name), n_runs=4, **params)
+        trained_cache[name] = (trained, params)
+        run = run_program(get_kernel(name), seed=7, **params)
+        ov, base, act = measure_overhead(run, trained, params=machine)
+        overheads.append(ov)
+        print(f"{name:14s} {base.cycles:12d} {act.cycles:11d} "
+              f"{100 * ov:8.1f}% {act.deps_stalled:13d}")
+    print(f"{'average':14s} {'':12s} {'':11s} "
+          f"{100 * sum(overheads) / len(overheads):8.1f}%")
+
+    print("\nNeuron-latency knob (multiply-add units per neuron):")
+    for x in (1, 2, 5, 10):
+        cfg = config.with_(muladd_units=x)
+        ovs = []
+        for name in KERNELS:
+            trained, params = trained_cache[name]
+            run = run_program(get_kernel(name), seed=7, **params)
+            ov, _, _ = measure_overhead(run, trained, params=machine,
+                                        act_config=cfg)
+            ovs.append(ov)
+        t = (10 // x if 10 % x == 0 else 10 // x + 1) + 2
+        print(f"  x={x:2d} (T={t:2d} cycles): "
+              f"avg overhead {100 * sum(ovs) / len(ovs):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

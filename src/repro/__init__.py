@@ -1,0 +1,30 @@
+"""ACT: production-run software failure diagnosis via adaptive communication tracking.
+
+Reproduction of Alam & Muzahid, ISCA 2016. The package is organised as:
+
+- :mod:`repro.trace` -- execution traces and RAW-dependence extraction.
+- :mod:`repro.workloads` -- mini concurrent-program framework, kernels, bugs.
+- :mod:`repro.nn` -- one-hidden-layer neural network, trainer, hardware
+  pipeline timing models.
+- :mod:`repro.core` -- the ACT module itself (online testing/training,
+  debug buffer, offline training, post-processing and diagnosis).
+- :mod:`repro.sim` -- multicore timing simulator (caches, MESI, last-writer
+  metadata, ACT back-pressure) used for overhead/false-sharing studies.
+- :mod:`repro.baselines` -- Aviso-like and PBI-like comparison schemes.
+- :mod:`repro.analysis` -- experiment harness regenerating every table and
+  figure of the paper's evaluation.
+"""
+
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import DiagnosisReport, diagnose_failure
+from repro.core.offline import OfflineTrainer, TrainedACT
+
+__all__ = [
+    "ACTConfig",
+    "DiagnosisReport",
+    "diagnose_failure",
+    "OfflineTrainer",
+    "TrainedACT",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Every runner returns plain result dataclasses and has a ``format_*``
+helper that renders the same rows the paper prints. The benchmarks in
+``benchmarks/`` are thin wrappers over these runners.
+"""
+
+from repro.analysis.presets import FAST, FULL, Preset
+
+__all__ = ["FAST", "FULL", "Preset"]

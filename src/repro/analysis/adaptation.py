@@ -1,0 +1,96 @@
+"""Online-adaptation dynamics: the Figure 1 control loop over time.
+
+Deploys a network trained on the legacy binary over repeated executions
+of the rewritten binary and records, per check window, the misprediction
+rate and the AM's mode. The expected shape: an initial spike above the
+5 % threshold flips the module into online training; the rate decays as
+the new code's windows are learned; the module settles back into
+testing mode — all without any offline retraining. Carrying the
+patched weights across executions (the thread-library exit log)
+accelerates the settling run over run.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.act_module import Mode
+from repro.core.config import ACTConfig
+from repro.core.deploy import deploy_on_run
+from repro.core.offline import OfflineTrainer
+from repro.common.texttable import render_table
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+@dataclass
+class AdaptationRun:
+    """One production execution's control-loop trace."""
+
+    execution: int
+    window_rates: List[float]
+    flagged: int
+    predictions: int
+    mode_switches: int
+
+    @property
+    def flag_rate(self):
+        if not self.predictions:
+            return 0.0
+        return self.flagged / self.predictions
+
+
+@dataclass
+class AdaptationCurve:
+    program: str
+    runs: List[AdaptationRun] = field(default_factory=list)
+
+    @property
+    def first_rate(self):
+        return self.runs[0].flag_rate if self.runs else 0.0
+
+    @property
+    def last_rate(self):
+        return self.runs[-1].flag_rate if self.runs else 0.0
+
+
+def run_adaptation(kernel="fft", n_executions=4, n_train=8,
+                   config=None, seed0=400) -> AdaptationCurve:
+    """Measure adaptation to rewritten code over consecutive runs.
+
+    Trains on ``new_code=False`` executions, then deploys over
+    ``n_executions`` runs of the rewritten binary, patching weights
+    between runs via the thread-exit log (Section IV.C).
+    """
+    config = config or ACTConfig(check_window=25)
+    program = get_kernel(kernel)
+    trained = OfflineTrainer(config=config).train(
+        program, n_runs=n_train, new_code=False)
+
+    curve = AdaptationCurve(program=kernel)
+    for i in range(n_executions):
+        run = run_program(program, seed=seed0 + i, new_code=True)
+        result = deploy_on_run(trained, run)
+        rates = []
+        for module in result.modules.values():
+            rates.extend(module.stats.window_rates)
+            trained.record_thread_weights(module.tid,
+                                          module.save_weights())
+        curve.runs.append(AdaptationRun(
+            execution=i,
+            window_rates=rates,
+            flagged=result.n_invalid,
+            predictions=result.n_predictions,
+            mode_switches=result.n_mode_switches))
+    return curve
+
+
+def format_adaptation(curve):
+    rows = [(r.execution, r.predictions, r.flagged,
+             f"{100 * r.flag_rate:.1f}", r.mode_switches,
+             " ".join(f"{100 * w:.0f}" for w in r.window_rates[:8]))
+            for r in curve.runs]
+    return render_table(
+        ("Run", "Windows", "Flagged", "Flag %", "Mode switches",
+         "Per-window rate % (first 8)"),
+        rows,
+        title=f"Online adaptation to rewritten code ({curve.program})")

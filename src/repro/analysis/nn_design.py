@@ -1,0 +1,63 @@
+"""Neural-network design comparison (contribution 3).
+
+ACT's partially configurable three-stage pipeline versus a fully
+configurable time-multiplexed accelerator (Esmaeilzadeh-style NPU), as
+the per-input latency and the steady-state input interval, across the
+multiply-add sweep. The pipeline accepts an input every T cycles while
+the multiplexed design cannot overlap inputs -- the justification for
+fixing the topology in hardware.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.presets import FULL
+from repro.common.texttable import render_table
+from repro.nn.pipeline import ACTPipelineModel, NeuronTiming
+from repro.nn.timemux import TimeMultiplexedModel
+
+
+@dataclass
+class DesignRow:
+    muladd_units: int
+    act_latency: int
+    act_test_interval: int
+    act_train_interval: int
+    mux_latency: int
+    mux_test_interval: int
+    mux_train_interval: int
+
+    @property
+    def throughput_advantage(self):
+        return self.mux_test_interval / self.act_test_interval
+
+
+def run_nn_design(preset=FULL, n_hidden=10, max_inputs=10) -> List[DesignRow]:
+    rows = []
+    for x in preset.muladd_sweep:
+        timing = NeuronTiming(max_inputs=max_inputs, muladd_units=x)
+        act = ACTPipelineModel(timing=timing)
+        mux = TimeMultiplexedModel(timing=timing)
+        rows.append(DesignRow(
+            muladd_units=x,
+            act_latency=1 + 2 * act.latency,
+            act_test_interval=act.service_interval(training=False),
+            act_train_interval=act.service_interval(training=True),
+            mux_latency=mux.input_latency(n_hidden),
+            mux_test_interval=mux.steady_state_interval(n_hidden),
+            mux_train_interval=mux.steady_state_interval(n_hidden,
+                                                         training=True)))
+    return rows
+
+
+def format_nn_design(rows):
+    table_rows = [
+        (r.muladd_units, r.act_latency, r.act_test_interval,
+         r.act_train_interval, r.mux_latency, r.mux_test_interval,
+         r.mux_train_interval, f"{r.throughput_advantage:.1f}x")
+        for r in rows]
+    return render_table(
+        ("MulAdd", "ACT lat", "ACT test int", "ACT train int",
+         "Mux lat", "Mux test int", "Mux train int", "ACT speedup"),
+        table_rows,
+        title="NN design comparison: ACT pipeline vs time-multiplexed")

@@ -1,0 +1,137 @@
+"""Execution overhead of ACT (Section VI goal iii).
+
+Per program: cycles with and without the ACT modules on the Table III
+machine, at the default configuration and swept over the paper's
+hardware knobs (multiply-add units 1/2/5/10, input FIFO 4/8/16 entries,
+4/8/16 cores). The paper reports an 8.2 % average at the default
+configuration.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.presets import FULL
+from repro.common.texttable import render_table
+from repro.core.config import ACTConfig
+from repro.core.offline import OfflineTrainer
+from repro.sim.machine import measure_overhead
+from repro.sim.params import MachineParams
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+from repro.analysis.scale import workload_params as _workload_params_impl
+
+
+@dataclass
+class OverheadRow:
+    program: str
+    base_cycles: int
+    act_cycles: int
+    overhead_pct: float
+    deps_offered: int
+    deps_stalled: int
+
+
+@dataclass
+class OverheadStudy:
+    default_rows: List[OverheadRow]
+    avg_default_pct: float
+    muladd_sweep: Dict[int, float] = field(default_factory=dict)
+    fifo_sweep: Dict[int, float] = field(default_factory=dict)
+    core_sweep: Dict[int, float] = field(default_factory=dict)
+
+
+def _workload_params(name, scale):
+    return _workload_params_impl(name, scale)
+
+
+# Kernels whose thread count scales with the machine (the sequential
+# SPEC/coreutils-style ones always run one thread).
+_MT_KERNELS = ("lu", "fft", "radix", "barnes", "ocean", "canneal",
+               "fluidanimate", "streamcluster", "swaptions")
+
+
+def _measure(programs, scale, act_config, machine_params, seed=7,
+             trained_cache=None, n_threads=None):
+    rows = []
+    for name in programs:
+        program = get_kernel(name)
+        params = _workload_params(name, scale)
+        if n_threads is not None and name in _MT_KERNELS:
+            params["n_threads"] = n_threads
+        key = (name, tuple(sorted(params.items())))
+        if trained_cache is not None and key in trained_cache:
+            trained = trained_cache[key]
+        else:
+            trained = OfflineTrainer(config=act_config).train(
+                program, n_runs=4, seed0=0, **params)
+            if trained_cache is not None:
+                trained_cache[key] = trained
+        run = run_program(program, seed=seed, **params)
+        overhead, base, withact = measure_overhead(
+            run, trained, params=machine_params, act_config=act_config)
+        rows.append(OverheadRow(
+            program=name, base_cycles=base.cycles,
+            act_cycles=withact.cycles, overhead_pct=100.0 * overhead,
+            deps_offered=withact.deps_offered,
+            deps_stalled=withact.deps_stalled))
+    return rows
+
+
+def run_overhead(preset=FULL, config=None, machine_params=None):
+    config = config or ACTConfig()
+    machine_params = machine_params or MachineParams(
+        n_cores=config.n_cores, line_size=config.line_size)
+    cache = {}
+
+    default_rows = _measure(preset.overhead_programs, preset.overhead_scale,
+                            config, machine_params, trained_cache=cache)
+    avg = (sum(r.overhead_pct for r in default_rows) / len(default_rows)
+           if default_rows else 0.0)
+    study = OverheadStudy(default_rows=default_rows, avg_default_pct=avg)
+
+    for x in preset.muladd_sweep:
+        rows = _measure(preset.overhead_programs, preset.overhead_scale,
+                        config.with_(muladd_units=x), machine_params,
+                        trained_cache=cache)
+        study.muladd_sweep[x] = (sum(r.overhead_pct for r in rows)
+                                 / len(rows))
+    for f in preset.fifo_sweep:
+        rows = _measure(preset.overhead_programs, preset.overhead_scale,
+                        config.with_(fifo_depth=f), machine_params,
+                        trained_cache=cache)
+        study.fifo_sweep[f] = sum(r.overhead_pct for r in rows) / len(rows)
+    for c in preset.core_sweep:
+        rows = _measure(preset.overhead_programs, preset.overhead_scale,
+                        config.with_(n_cores=c),
+                        machine_params.with_(n_cores=c), trained_cache=cache,
+                        n_threads=min(c, 4))
+        study.core_sweep[c] = sum(r.overhead_pct for r in rows) / len(rows)
+    return study
+
+
+def format_overhead(study):
+    rows = [(r.program, r.base_cycles, r.act_cycles,
+             f"{r.overhead_pct:.1f}", r.deps_offered, r.deps_stalled)
+            for r in study.default_rows]
+    rows.append(("Average", "", "", f"{study.avg_default_pct:.1f}", "", ""))
+    out = [render_table(
+        ("Program", "Base Cycles", "ACT Cycles", "Overhead (%)",
+         "Deps Offered", "Deps Stalled"), rows,
+        title="Execution overhead (default configuration)")]
+    if study.muladd_sweep:
+        out.append(render_table(
+            ("Multiply-add units", "Avg overhead (%)"),
+            [(x, f"{v:.1f}") for x, v in sorted(study.muladd_sweep.items())],
+            title="Sensitivity: multiply-add units per neuron"))
+    if study.fifo_sweep:
+        out.append(render_table(
+            ("Input FIFO entries", "Avg overhead (%)"),
+            [(f, f"{v:.1f}") for f, v in sorted(study.fifo_sweep.items())],
+            title="Sensitivity: input FIFO depth"))
+    if study.core_sweep:
+        out.append(render_table(
+            ("Cores", "Avg overhead (%)"),
+            [(c, f"{v:.1f}") for c, v in sorted(study.core_sweep.items())],
+            title="Sensitivity: core count"))
+    return "\n\n".join(out)

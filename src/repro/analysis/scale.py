@@ -1,0 +1,29 @@
+"""Per-kernel workload sizes for paper-scale experiments.
+
+Functional experiments use the kernels' small defaults (fast, and the
+invariant space is identical); the training and timing studies use
+these larger inputs so trace lengths and dependence counts resemble the
+paper's.
+"""
+
+LARGE_PARAMS = {
+    "lu": {"nb": 6, "block": 8},
+    "fft": {"points": 64},
+    "radix": {"keys": 48, "buckets": 8},
+    "barnes": {"bodies": 24, "cells": 16},
+    "ocean": {"cols": 24, "iters": 6},
+    "canneal": {"elements": 24, "swaps": 60},
+    "fluidanimate": {"cells": 16, "steps": 6},
+    "streamcluster": {"points": 32, "centers": 8},
+    "swaptions": {"per_thread": 8, "sims": 12},
+    "bzip2": {"length": 400},
+    "mcf": {"nodes": 60, "hops": 300},
+    "bc": {"exprs": 40, "max_depth": 6},
+}
+
+
+def workload_params(name, scale):
+    """Parameter overrides for ``name`` at ``scale`` ("default"/"large")."""
+    if scale == "large":
+        return dict(LARGE_PARAMS.get(name, {}))
+    return {}

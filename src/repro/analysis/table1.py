@@ -1,0 +1,26 @@
+"""Table I: qualitative comparison of diagnosis schemes.
+
+A static table in the paper; rendered here verbatim so the benchmark
+suite regenerates every numbered table.
+"""
+
+from repro.common.texttable import render_table
+
+ROWS = [
+    ("PBI, Aviso, CCI", "yes", "no", "yes"),
+    ("Recon", "no", "yes", "yes"),
+    ("Avio, PSet, Bugaboo", "yes", "yes", "no"),
+    ("ACT", "yes", "yes", "yes"),
+]
+
+HEADERS = ("Scheme", "Suitable for production run?",
+           "Effective with a single failure run?", "Can adapt to changes?")
+
+
+def run_table1():
+    return ROWS
+
+
+def format_table1():
+    return render_table(HEADERS, ROWS,
+                        title="Table I: comparison with existing schemes")

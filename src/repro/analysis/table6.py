@@ -1,0 +1,67 @@
+"""Table VI: injected bugs in new code.
+
+Protocol (paper Section VI.C): a kernel's target function is rewritten
+(``new_code=True``) with a bug injected into it (``inject=True``).
+Training uses the *legacy* binary (``new_code=False``), so every
+dependence of the rewritten function is new to the network; the
+failure run exercises the rewritten, buggy function. The pruning
+traces come from correct runs of the *new* program (the paper requires
+the pruning traces to cover the code sections in the Debug Buffer), so
+the benign new-code entries are filtered away and the injected
+dependence is ranked. The paper's average filter rate is about 86 %.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.presets import FULL
+from repro.common.texttable import render_table
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.workloads.registry import get_kernel
+
+INJECTED_BUGS = (
+    ("fft", "TouchArray"),
+    ("barnes", "VListInteraction"),
+    ("fluidanimate", "ComputeDensitiesMT"),
+    ("lu", "TouchA"),
+    ("swaptions", "worker"),
+)
+
+
+@dataclass
+class Table6Row:
+    program: str
+    function: str
+    filter_pct: float
+    rank: Optional[int]
+    found: bool
+
+
+def run_table6(preset=FULL, config=None) -> List[Table6Row]:
+    config = config or ACTConfig()
+    rows = []
+    for program_name, function in INJECTED_BUGS:
+        program = get_kernel(program_name)
+        report = diagnose_failure(
+            program, config=config,
+            n_train_runs=preset.n_train_traces,
+            n_pruning_runs=preset.n_pruning_runs,
+            failure_params={"inject": True, "new_code": True},
+            correct_params={"inject": False, "new_code": False},
+            pruning_params={"inject": False, "new_code": True})
+        rows.append(Table6Row(program=program_name, function=function,
+                              filter_pct=report.filter_pct,
+                              rank=report.rank, found=report.found))
+    return rows
+
+
+def format_table6(rows):
+    avg = sum(r.filter_pct for r in rows) / len(rows) if rows else 0.0
+    table_rows = [(r.program, r.function, f"{r.filter_pct:.0f}",
+                   r.rank if r.rank is not None else "-")
+                  for r in rows]
+    table_rows.append(("Avg", "", f"{avg:.0f}", ""))
+    return render_table(("Prog.", "Function", "Filter (%)", "Rank"),
+                        table_rows,
+                        title="Table VI: injected bugs in new code")

@@ -1,0 +1,63 @@
+"""PSet-style static communication invariants.
+
+PSet (Yu & Narayanasamy, ISCA 2009) records, for every load, the exact
+set of stores that may legally feed it (with inter/intra-thread
+labels), extracted from training executions. At run time any dependence
+outside the set is a violation.
+
+This is the class of scheme ACT's adaptivity argument targets: the
+invariants are exact, so *any* new code or new interleaving raises
+violations until the whole program is re-trained. The adaptivity
+experiment (Figure 7(b)) uses this as the rigid-baseline contrast.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.trace.raw import extract_raw_deps
+
+
+@dataclass
+class PSetInvariants:
+    """Per-load valid-writer sets."""
+
+    psets: Dict[int, Set] = field(default_factory=lambda: defaultdict(set))
+
+    @classmethod
+    def train(cls, runs, filter_stack=True):
+        inv = cls()
+        for run in runs:
+            inv.add_run(run, filter_stack=filter_stack)
+        return inv
+
+    def add_run(self, run, filter_stack=True):
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            for rec in stream:
+                self.psets[rec.dep.load_pc].add(
+                    (rec.dep.store_pc, rec.dep.inter_thread))
+
+    def is_valid(self, dep):
+        """True when the dependence matches a trained invariant."""
+        return (dep.store_pc, dep.inter_thread) in self.psets.get(
+            dep.load_pc, set())
+
+    def violations(self, run, filter_stack=True):
+        """All dependence records of ``run`` violating the invariants."""
+        out = []
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            out.extend(rec for rec in stream if not self.is_valid(rec.dep))
+        return out
+
+    def violation_rate(self, run, filter_stack=True):
+        """Fraction of dynamic dependences flagged in ``run``."""
+        total = 0
+        bad = 0
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            for rec in stream:
+                total += 1
+                bad += not self.is_valid(rec.dep)
+        return bad / total if total else 0.0
+
+    def n_invariants(self):
+        return sum(len(s) for s in self.psets.values())

@@ -1,0 +1,192 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list
+    python -m repro.cli diagnose gzip
+    python -m repro.cli diagnose mysql1 --debug-buffer 120
+    python -m repro.cli trace lu --seed 3 --out lu.jsonl
+    python -m repro.cli experiment table5 --preset fast
+
+``diagnose`` runs the full ACT pipeline against one of the bundled bug
+programs; ``trace`` records a workload execution to a JSON-lines trace
+file; ``experiment`` regenerates one of the paper's tables/figures.
+"""
+
+import argparse
+import sys
+
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.trace.trace_io import write_trace
+from repro.workloads.framework import run_program
+from repro.workloads.registry import (
+    all_bug_names,
+    all_kernel_names,
+    get_bug,
+    get_kernel,
+)
+
+_EXPERIMENTS = ("table1", "table4", "table5", "table6", "fig7a", "fig7b",
+                "overhead", "false_sharing", "nn_design", "adaptation")
+
+
+def _cmd_list(_args):
+    print("kernels:", ", ".join(all_kernel_names()))
+    print("bugs:   ", ", ".join(all_bug_names()))
+    print("experiments:", ", ".join(_EXPERIMENTS))
+    return 0
+
+
+def _cmd_diagnose(args):
+    program = get_bug(args.bug)
+    config = ACTConfig(seq_len=args.seq_len,
+                       debug_buffer=args.debug_buffer,
+                       mispred_threshold=args.threshold)
+    report = diagnose_failure(program, config=config,
+                              n_train_runs=args.train_runs,
+                              n_pruning_runs=args.pruning_runs,
+                              failure_seed=args.seed)
+    print(f"program          : {report.program}")
+    print(f"failure          : {report.failure_description}")
+    print(f"deps observed    : {report.n_deps} "
+          f"({report.n_invalid} flagged invalid)")
+    print(f"debug buffer     : {report.n_debug_entries} entries"
+          f"{' (overflowed)' if report.debug_overflowed else ''}")
+    print(f"filtered         : {report.filter_pct:.0f}%")
+    print(f"root cause found : {report.found}"
+          + (f" at rank {report.rank}" if report.found else ""))
+    for note in report.notes:
+        print(f"note: {note}")
+    for i, f in enumerate(report.top(args.top), start=1):
+        dep = f.mismatch_dep or f.seq[-1]
+        print(f"  #{i}: store {dep.store_pc:#x} -> load {dep.load_pc:#x} "
+              f"({'inter' if dep.inter_thread else 'intra'}-thread, "
+              f"matched {f.matched}, output {f.output:.3f})")
+    return 0 if report.found else 1
+
+
+def _cmd_profile(args):
+    from repro.sim.trace_stats import profile_run, profile_table
+
+    profiles = []
+    names = args.programs or all_kernel_names()
+    for name in names:
+        try:
+            program = get_kernel(name)
+        except Exception:
+            program = get_bug(name)
+        run = run_program(program, seed=args.seed)
+        profiles.append(profile_run(run, name=name))
+    print(profile_table(profiles))
+    return 0
+
+
+def _cmd_trace(args):
+    try:
+        program = get_kernel(args.program)
+    except Exception:
+        program = get_bug(args.program)
+    run = run_program(program, seed=args.seed)
+    write_trace(run, args.out)
+    print(f"wrote {len(run.events)} events "
+          f"({run.n_threads} threads, failed={run.failed}) to {args.out}")
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.analysis import presets
+
+    preset = {"fast": presets.FAST, "bench": presets.BENCH,
+              "full": presets.FULL}[args.preset]
+    name = args.name
+    if name == "table1":
+        from repro.analysis.table1 import format_table1
+        print(format_table1())
+    elif name == "table4":
+        from repro.analysis.table4 import format_table4, run_table4
+        print(format_table4(run_table4(preset)))
+    elif name == "table5":
+        from repro.analysis.table5 import format_table5, run_table5
+        print(format_table5(run_table5(preset)))
+    elif name == "table6":
+        from repro.analysis.table6 import format_table6, run_table6
+        print(format_table6(run_table6(preset)))
+    elif name == "fig7a":
+        from repro.analysis.fig7a import format_fig7a, run_fig7a
+        print(format_fig7a(run_fig7a(preset)))
+    elif name == "fig7b":
+        from repro.analysis.fig7b import format_fig7b, run_fig7b
+        print(format_fig7b(run_fig7b(preset)))
+    elif name == "overhead":
+        from repro.analysis.overhead import format_overhead, run_overhead
+        print(format_overhead(run_overhead(preset)))
+    elif name == "false_sharing":
+        from repro.analysis.false_sharing import (
+            format_false_sharing,
+            run_false_sharing,
+        )
+        print(format_false_sharing(run_false_sharing(preset)))
+    elif name == "nn_design":
+        from repro.analysis.nn_design import format_nn_design, run_nn_design
+        print(format_nn_design(run_nn_design(preset)))
+    elif name == "adaptation":
+        from repro.analysis.adaptation import (
+            format_adaptation,
+            run_adaptation,
+        )
+        print(format_adaptation(run_adaptation()))
+    else:
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ACT failure-diagnosis reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads and experiments")
+
+    d = sub.add_parser("diagnose", help="diagnose a bundled bug with ACT")
+    d.add_argument("bug", choices=all_bug_names())
+    d.add_argument("--seed", type=int, default=12345)
+    d.add_argument("--train-runs", type=int, default=10)
+    d.add_argument("--pruning-runs", type=int, default=20)
+    d.add_argument("--seq-len", type=int, default=5)
+    d.add_argument("--debug-buffer", type=int, default=60)
+    d.add_argument("--threshold", type=float, default=0.05)
+    d.add_argument("--top", type=int, default=5)
+
+    t = sub.add_parser("trace", help="record a workload trace")
+    t.add_argument("program")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--out", default="trace.jsonl")
+
+    p = sub.add_parser("profile",
+                       help="communication profile of workloads")
+    p.add_argument("programs", nargs="*")
+    p.add_argument("--seed", type=int, default=1)
+
+    e = sub.add_parser("experiment", help="regenerate a table/figure")
+    e.add_argument("name", choices=_EXPERIMENTS)
+    e.add_argument("--preset", choices=("fast", "bench", "full"),
+                   default="fast")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "diagnose": _cmd_diagnose,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG, errors, table rendering."""
+
+from repro.common.errors import ReproError, SimulatedFailure
+from repro.common.rng import make_rng
+
+__all__ = ["ReproError", "SimulatedFailure", "make_rng"]

@@ -1,0 +1,28 @@
+"""Exception types used across the package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulatedFailure(ReproError):
+    """Raised by a workload when the modelled software failure occurs.
+
+    Carries enough context for the diagnosis pipeline: which thread
+    failed, a human-readable description, and (optionally) the program
+    counter at which the failure manifested.
+    """
+
+    def __init__(self, description, tid=None, pc=None):
+        super().__init__(description)
+        self.description = description
+        self.tid = tid
+        self.pc = pc
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is inconsistent."""
+
+
+class TraceError(ReproError):
+    """Raised on malformed traces or trace files."""

@@ -1,0 +1,37 @@
+"""Minimal fixed-width text-table rendering for experiment output.
+
+The analysis harness prints tables shaped like the paper's; this module
+keeps the formatting logic in one place.
+"""
+
+
+def render_table(headers, rows, title=None):
+    """Render ``rows`` (sequences of cells) under ``headers`` as a string.
+
+    Cells are converted with ``str``; floats the caller wants formatted
+    should be pre-formatted. Columns are padded to the widest cell.
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(str_headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,42 @@
+"""ACT proper: the paper's primary contribution.
+
+- :mod:`repro.core.config` -- all Table III parameters in one dataclass.
+- :mod:`repro.core.encoding` -- RAW dependences to NN input vectors.
+- :mod:`repro.core.buffers` -- Input Generator Buffer and Debug Buffer.
+- :mod:`repro.core.act_module` -- the per-processor ACT Module (AM):
+  online testing/training alternation driven by the invalid counter.
+- :mod:`repro.core.offline` -- offline training and topology selection.
+- :mod:`repro.core.postprocess` -- pruning + ranking after a failure.
+- :mod:`repro.core.diagnosis` -- end-to-end failure diagnosis driver.
+"""
+
+from repro.core.act_module import ACTModule, Mode
+from repro.core.buffers import DebugBuffer, DebugEntry, InputGeneratorBuffer
+from repro.core.config import ACTConfig
+from repro.core.deploy import DeploymentResult, deploy_on_run
+from repro.core.encoding import DepEncoder
+from repro.core.diagnosis import DiagnosisReport, diagnose_failure
+from repro.core.offline import OfflineTrainer, TrainedACT
+from repro.core.postprocess import CorrectSet, RankedFinding, postprocess
+from repro.core.thread_library import ACTThreadLibrary, ThreadId
+
+__all__ = [
+    "ACTModule",
+    "Mode",
+    "DebugBuffer",
+    "DebugEntry",
+    "InputGeneratorBuffer",
+    "ACTConfig",
+    "DeploymentResult",
+    "deploy_on_run",
+    "DepEncoder",
+    "DiagnosisReport",
+    "diagnose_failure",
+    "OfflineTrainer",
+    "TrainedACT",
+    "CorrectSet",
+    "RankedFinding",
+    "postprocess",
+    "ACTThreadLibrary",
+    "ThreadId",
+]

@@ -1,0 +1,157 @@
+"""The per-processor ACT Module (AM).
+
+Implements Section III.C: every retired non-stack load's RAW dependence
+enters the Input Generator Buffer; the newest ``N`` dependences form a
+NN input; predicted-invalid sequences are logged into the Debug Buffer
+and counted by the Invalid Counter. The controller periodically turns
+the counter into a misprediction rate and alternates between *online
+testing* (rate above threshold -> start training) and *online training*
+(every dependence treated as valid, back-propagate on predicted-invalid;
+rate below threshold -> back to testing).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.buffers import DebugBuffer, DebugEntry, InputGeneratorBuffer
+from repro.core.config import ACTConfig
+from repro.nn.network import OneHiddenLayerNet, SigmoidTable
+
+
+class Mode(enum.Enum):
+    """AM operating mode (the hardware's ``Mode`` flag)."""
+
+    TESTING = "testing"
+    TRAINING = "training"
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """Outcome of processing one RAW dependence."""
+
+    seq: Tuple
+    output: float
+    predicted_invalid: bool
+    mode: Mode
+    index: int
+    trained: bool = False
+
+
+@dataclass
+class AMStats:
+    """Counters the evaluation reads out of one AM."""
+
+    deps_processed: int = 0
+    predictions: int = 0
+    invalid_predictions: int = 0
+    online_trained: int = 0
+    mode_switches: int = 0
+    windows_checked: int = 0
+    window_rates: list = field(default_factory=list)
+
+
+class ACTModule:
+    """One core's ACT hardware: NN + buffers + mode controller."""
+
+    # Target used when online training corrects a predicted-invalid
+    # sequence toward "valid" (matches the offline trainer's target).
+    _ONLINE_TARGET = 0.9
+
+    def __init__(self, config=None, encoder=None, net=None, tid=0, seed=0):
+        self.config = config or ACTConfig()
+        self.encoder = encoder
+        self.tid = tid
+        if net is None:
+            net = OneHiddenLayerNet(
+                self.config.n_inputs, self.config.n_hidden, seed=seed,
+                max_inputs=self.config.max_inputs,
+                sigmoid=SigmoidTable(self.config.sigmoid_resolution))
+        self.net = net
+        self.input_buffer = InputGeneratorBuffer(self.config.input_gen_buffer)
+        self.debug_buffer = DebugBuffer(self.config.debug_buffer)
+        self.mode = Mode.TESTING
+        self.invalid_counter = 0
+        self._window_count = 0
+        self.stats = AMStats()
+
+    # ------------------------------------------------------------------
+
+    def process_dep(self, dep) -> Optional[PredictionRecord]:
+        """Handle one RAW dependence; return the prediction, if one formed.
+
+        Returns None while the input buffer is still warming up (fewer
+        than ``N`` dependences seen).
+        """
+        self.stats.deps_processed += 1
+        self.input_buffer.push(dep)
+        seq = self.input_buffer.sequence(self.config.seq_len)
+        if seq is None:
+            return None
+
+        x = self.encoder.encode_seq(seq)
+        output = self.net.output(x)
+        invalid = output < 0.5
+        trained = False
+        self.stats.predictions += 1
+
+        if invalid:
+            # Potentially invalid: always logged, in both modes, so a
+            # failure can be diagnosed even mid-training (Section III.C).
+            self.debug_buffer.log(DebugEntry(
+                seq=seq, output=output, index=self.stats.predictions,
+                tid=self.tid))
+            self.invalid_counter += 1
+            self.stats.invalid_predictions += 1
+            if self.mode is Mode.TRAINING:
+                # Online training treats every dependence as valid; a
+                # predicted-invalid one is a misprediction to learn away.
+                self.net.train_example(x, self._ONLINE_TARGET,
+                                       self.config.learning_rate)
+                self.stats.online_trained += 1
+                trained = True
+
+        self._window_count += 1
+        if self._window_count >= self.config.check_window:
+            self._check_misprediction_rate()
+
+        return PredictionRecord(seq=seq, output=output,
+                                predicted_invalid=invalid, mode=self.mode,
+                                index=self.stats.predictions, trained=trained)
+
+    def _check_misprediction_rate(self):
+        """Periodic Invalid-Counter check driving the mode alternation."""
+        rate = self.invalid_counter / self._window_count
+        self.stats.windows_checked += 1
+        self.stats.window_rates.append(rate)
+        threshold = self.config.mispred_threshold
+        if self.mode is Mode.TESTING and rate > threshold:
+            self.mode = Mode.TRAINING
+            self.stats.mode_switches += 1
+        elif self.mode is Mode.TRAINING and rate <= threshold:
+            self.mode = Mode.TESTING
+            self.stats.mode_switches += 1
+        self.invalid_counter = 0
+        self._window_count = 0
+
+    # ------------------------------------------------------------------
+    # Architectural-state interface (Section IV.B-D)
+    # ------------------------------------------------------------------
+
+    def save_weights(self):
+        """Read the weight register array (a loop of ``ldwt``)."""
+        return self.net.read_weights()
+
+    def restore_weights(self, flat):
+        """Write the weight register array (a loop of ``stwt``)."""
+        self.net.write_weights(flat)
+
+    def context_switch_out(self):
+        """Save state on context switch; flushes in-flight inputs."""
+        self.input_buffer.clear()
+        return self.save_weights()
+
+    def context_switch_in(self, flat):
+        """Restore a thread's weights after a context switch/migration."""
+        self.restore_weights(flat)
+        self.input_buffer.clear()

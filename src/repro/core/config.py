@@ -1,0 +1,74 @@
+"""Configuration for the whole ACT stack (paper Table III).
+
+Bold-faced (default) parameters from Table III: 8 cores, 64 B lines,
+10-input neurons, 11 neurons total (10 hidden + 1 output), 5-entry input
+generator buffer, 60-entry debug buffer, 5 % misprediction threshold.
+Where the paper lists a sweep without marking the default
+(multiply-add units 1/2/5/10, FIFO 4/8/16) we pick the middle point
+(2 units, 8 entries) and expose both as sweep knobs in the benchmarks.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class ACTConfig:
+    """Every tunable of the ACT design in one place."""
+
+    # --- RAW dependence sequences -----------------------------------
+    seq_len: int = 5               # N: dependences per NN input
+    input_gen_buffer: int = 5      # Input Generator Buffer entries
+    filter_stack_loads: bool = True
+
+    # --- Neural network ----------------------------------------------
+    max_inputs: int = 10           # M: per-neuron input bound
+    n_hidden: int = 10             # hidden width (searched in Table IV)
+    learning_rate: float = 0.2
+    sigmoid_resolution: int = 2048
+
+    # --- Online control loop ------------------------------------------
+    debug_buffer: int = 60
+    mispred_threshold: float = 0.05
+    check_window: int = 200        # deps between misprediction-rate checks
+
+    # --- Hardware timing (overhead experiments) -----------------------
+    muladd_units: int = 2
+    fifo_depth: int = 8
+    n_cores: int = 8
+    line_size: int = 64
+
+    # --- Last-writer simplifications (Section V) ----------------------
+    lw_word_granularity: bool = False   # paper default: line granularity
+    lw_writeback_on_evict: bool = False # paper default: drop on eviction
+    lw_piggyback_dirty_only: bool = True
+
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 1 <= self.seq_len:
+            raise ConfigError("seq_len must be >= 1")
+        if 2 * self.seq_len > self.max_inputs:
+            raise ConfigError(
+                f"seq_len={self.seq_len} needs {2 * self.seq_len} NN inputs, "
+                f"but max_inputs={self.max_inputs}")
+        if self.input_gen_buffer < self.seq_len:
+            raise ConfigError("input generator buffer smaller than seq_len")
+        if not 0.0 < self.mispred_threshold < 1.0:
+            raise ConfigError("mispred_threshold must be in (0, 1)")
+        if self.check_window < 1:
+            raise ConfigError("check_window must be positive")
+        if self.debug_buffer < 1:
+            raise ConfigError("debug buffer must hold at least one entry")
+        if self.line_size % 4 or self.line_size < 4:
+            raise ConfigError("line size must be a positive multiple of 4")
+
+    @property
+    def n_inputs(self):
+        """NN input width: two inputs (store code, load code) per dep."""
+        return 2 * self.seq_len
+
+    def with_(self, **changes):
+        """A modified copy, e.g. ``cfg.with_(seq_len=3)``."""
+        return replace(self, **changes)

@@ -1,0 +1,74 @@
+"""Production-run deployment: replay a trace through per-core AMs.
+
+One :class:`~repro.core.act_module.ACTModule` per thread (threads are
+pinned one-per-core, Section IV.C/D); a shared last-writer tracker forms
+each retired load's RAW dependence exactly as the extended cache lines
+would, and hands it to the owning core's AM.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.trace.raw import RawDepExtractor
+
+
+@dataclass
+class DeploymentResult:
+    """State after replaying one execution through the AMs."""
+
+    modules: Dict[int, object]
+    records: List[object] = field(default_factory=list)
+    n_deps: int = 0
+
+    def debug_entries(self):
+        """All AMs' debug-buffer entries merged in logging order."""
+        merged = []
+        for tid in sorted(self.modules):
+            merged.extend(self.modules[tid].debug_buffer.entries)
+        merged.sort(key=lambda e: e.index)
+        return merged
+
+    @property
+    def n_predictions(self):
+        return sum(m.stats.predictions for m in self.modules.values())
+
+    @property
+    def n_invalid(self):
+        return sum(m.stats.invalid_predictions for m in self.modules.values())
+
+    @property
+    def n_mode_switches(self):
+        return sum(m.stats.mode_switches for m in self.modules.values())
+
+
+def deploy_on_run(trained, run, keep_records=False):
+    """Feed every RAW dependence of ``run`` through per-thread AMs.
+
+    Args:
+        trained: a :class:`~repro.core.offline.TrainedACT`.
+        run: the :class:`~repro.trace.events.TraceRun` to replay (for
+            diagnosis this is the failure execution).
+        keep_records: retain each :class:`PredictionRecord` (memory-heavy
+            for long runs; used by analysis code).
+
+    Returns:
+        :class:`DeploymentResult` with the AMs (and their debug buffers)
+        in their end-of-run state.
+    """
+    cfg = trained.config
+    modules = {tid: trained.make_module(tid) for tid in range(run.n_threads)}
+    extractor = RawDepExtractor(filter_stack=cfg.filter_stack_loads)
+    result = DeploymentResult(modules=modules)
+    for index, event in enumerate(run.events):
+        rec = extractor.feed(event, index=index)
+        if rec is None:
+            continue
+        module = modules.get(rec.tid)
+        if module is None:  # thread spawned beyond the trained set
+            module = trained.make_module(rec.tid)
+            modules[rec.tid] = module
+        result.n_deps += 1
+        pred = module.process_dep(rec.dep)
+        if keep_records and pred is not None:
+            result.records.append(pred)
+    return result

@@ -1,0 +1,159 @@
+"""End-to-end failure diagnosis (the full ACT workflow of Figure 1).
+
+1. Offline-train from correct runs (or reuse a provided TrainedACT).
+2. Execute the failure run, replaying its dependences through per-core
+   ACT Modules in online testing/training mode.
+3. After the failure, collect the Debug Buffers, build a Correct Set
+   from ~20 fresh correct runs, prune and rank.
+4. Report where the ground-truth root-cause dependence landed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ACTConfig
+from repro.core.deploy import deploy_on_run
+from repro.core.offline import OfflineTrainer, collect_correct_runs
+from repro.core.postprocess import CorrectSet, postprocess
+from repro.workloads.framework import run_program
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything Table V reports for one bug, plus diagnostics."""
+
+    program: str
+    failed: bool
+    found: bool
+    rank: Optional[int]
+    debug_buffer_position: Optional[int]
+    filter_pct: float
+    n_debug_entries: int
+    debug_overflowed: bool
+    findings: list = field(default_factory=list)
+    root_cause: Optional[set] = None
+    failure_description: str = ""
+    n_deps: int = 0
+    n_invalid: int = 0
+    mode_switches: int = 0
+    notes: list = field(default_factory=list)
+
+    def top(self, k=5):
+        return self.findings[:k]
+
+
+def diagnose_failure(program, config=None, trained=None,
+                     n_train_runs=10, train_seed0=0,
+                     failure_seed=12345,
+                     n_pruning_runs=20, pruning_seed0=100,
+                     failure_params=None, correct_params=None,
+                     pruning_params=None, root_cause=None):
+    """Diagnose ``program``'s failure with the full ACT pipeline.
+
+    Args:
+        program: a workload :class:`~repro.workloads.framework.Program`.
+            Bug programs take a ``buggy`` parameter; correct runs are
+            produced with ``buggy=False`` and the failure run with
+            ``buggy=True`` unless overridden via the param dicts.
+        config: :class:`ACTConfig` (default config when omitted).
+        trained: reuse an existing :class:`TrainedACT` (skips step 1).
+        failure_params: params for the failure execution
+            (default ``{"buggy": True}``).
+        correct_params: params for training executions
+            (default ``{"buggy": False}``).
+        pruning_params: params for the post-failure pruning runs.
+            Defaults to ``correct_params``; pass different params when
+            the correct runs must cover code the training lacked (the
+            paper's new-code protocol: pruning traces "contain RAW
+            dependences from the code sections where the dependence
+            sequences of the Debug Buffer belong").
+        root_cause: override the program's ground-truth dependence keys.
+
+    Returns:
+        :class:`DiagnosisReport`.
+    """
+    config = config or ACTConfig()
+    failure_params = dict(failure_params or {"buggy": True})
+    correct_params = dict(correct_params or {"buggy": False})
+    pruning_params = dict(pruning_params if pruning_params is not None
+                          else correct_params)
+
+    if trained is None:
+        trainer = OfflineTrainer(config=config)
+        trained = trainer.train(program, n_runs=n_train_runs,
+                                seed0=train_seed0, **correct_params)
+
+    # --- The production failure run ----------------------------------
+    failure_run = run_program(program, seed=failure_seed, **failure_params)
+    truth = root_cause or failure_run.meta.get("root_cause")
+    report = DiagnosisReport(
+        program=failure_run.meta.get("program", getattr(program, "name", "?")),
+        failed=failure_run.failed, found=False, rank=None,
+        debug_buffer_position=None, filter_pct=0.0, n_debug_entries=0,
+        debug_overflowed=False, root_cause=truth,
+        failure_description=str(failure_run.failure) if failure_run.failure else "")
+    if not failure_run.failed:
+        report.notes.append("failure run did not fail; nothing to diagnose")
+        return report
+    if not truth:
+        report.notes.append("program provides no ground-truth root cause")
+
+    deployment = deploy_on_run(trained, failure_run)
+    report.n_deps = deployment.n_deps
+    report.n_invalid = deployment.n_invalid
+    report.mode_switches = deployment.n_mode_switches
+
+    # Table V "Debug Buf. Pos.": depth of the root cause from the newest
+    # entry of its core's buffer at failure time.
+    if truth:
+        def is_root(entry):
+            return any((d.store_pc, d.load_pc) in truth for d in entry.seq)
+        positions = [m.debug_buffer.position_from_newest(is_root)
+                     for m in deployment.modules.values()]
+        positions = [p for p in positions if p is not None]
+        report.debug_buffer_position = min(positions) if positions else None
+        report.debug_overflowed = any(
+            m.debug_buffer.overflowed for m in deployment.modules.values())
+        if report.debug_buffer_position is None and report.debug_overflowed:
+            report.notes.append(
+                "root cause not in debug buffer; buffer overflowed -- "
+                "retry with a larger debug_buffer (the MySQL#1 case)")
+
+    # --- Offline post-processing --------------------------------------
+    correct_set = CorrectSet(config.seq_len,
+                             filter_stack=config.filter_stack_loads)
+    pruning_runs = collect_correct_runs(program, n_pruning_runs,
+                                        seed0=pruning_seed0, **pruning_params)
+    for run in pruning_runs:
+        correct_set.add_run(run)
+
+    entries = deployment.debug_entries()
+    report.n_debug_entries = len(entries)
+    result = postprocess(entries, correct_set)
+    report.findings = result.findings
+    report.filter_pct = result.filter_pct
+    if truth:
+        report.rank = result.rank_of_dep(truth)
+        report.found = report.rank is not None
+    return report
+
+
+def diagnose_with_buffer_escalation(program, config=None, max_buffer=960,
+                                    **kwargs):
+    """Diagnose, doubling the debug buffer until the root cause is caught.
+
+    Models the paper's MySQL#1 observation: with the default 60-entry
+    buffer the buggy sequence is overwritten before the failure, and "ACT
+    cannot find the buggy sequence without a larger buffer".
+
+    Returns (report, buffer_size_used).
+    """
+    config = config or ACTConfig()
+    size = config.debug_buffer
+    while True:
+        report = diagnose_failure(program, config=config.with_(
+            debug_buffer=size), **kwargs)
+        if report.found or size >= max_buffer:
+            return report, size
+        size *= 2
+        report.notes.append(f"escalating debug buffer to {size}")

@@ -1,0 +1,81 @@
+"""Encoding RAW dependence sequences as neural-network inputs.
+
+The paper leaves the input encoding implicit ("instruction addresses
+and their labels"). We use two NN inputs per dependence:
+
+- the **store code**: a value in ``(0, 1)`` identifying the store pc,
+  *negated* when the dependence is inter-thread (folding the label into
+  the sign keeps the input width at ``2N <= M``);
+- the **load code**: a value in ``(0, 1)`` identifying the load pc.
+
+PC codes come from the program's static code map, spread uniformly over
+``(0, 1)`` so distinct instructions are well separated -- the property
+that makes valid-communication regions learnable bumps in input space.
+PCs outside the map (e.g. dynamically loaded code) hash to a
+deterministic code via the golden-ratio trick, mirroring the paper's
+library-id + offset scheme.
+"""
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+_GOLDEN = 0.6180339887498949
+
+
+class DepEncoder:
+    """Maps :class:`~repro.trace.raw.RawDep` sequences to input vectors."""
+
+    def __init__(self, pcs=None, code_map=None):
+        """Build an encoder from a static pc list or a CodeMap.
+
+        Args:
+            pcs: iterable of static instruction addresses.
+            code_map: alternatively, a workload CodeMap (its pcs are used).
+        """
+        if code_map is not None:
+            # Only memory instructions participate in dependences, so
+            # only they need codes -- fewer codes means wider spacing in
+            # (0, 1) and sharper class boundaries for the network.
+            pcs = sorted(pc for pc, site in code_map._sites.items()
+                         if site.kind.is_memory())
+        if pcs is None:
+            raise ConfigError("DepEncoder needs pcs or a code_map")
+        pcs = sorted(set(pcs))
+        n = len(pcs)
+        if n == 0:
+            raise ConfigError("DepEncoder needs at least one pc")
+        self._codes = {pc: (i + 1) / (n + 1) for i, pc in enumerate(pcs)}
+        self.n_pcs = n
+
+    def code_of(self, pc):
+        """Code in ``(0, 1)`` for a pc; unseen pcs hash deterministically."""
+        code = self._codes.get(pc)
+        if code is None:
+            code = (pc * _GOLDEN) % 1.0
+            code = min(max(code, 0.01), 0.99)
+        return code
+
+    def encode_dep(self, dep):
+        """Two inputs (signed store code, load code) for one dependence."""
+        s = self.code_of(dep.store_pc)
+        if dep.inter_thread:
+            s = -s
+        return s, self.code_of(dep.load_pc)
+
+    def encode_seq(self, seq):
+        """Flat input vector for a sequence of dependences (oldest first)."""
+        out = np.empty(2 * len(seq))
+        for i, dep in enumerate(seq):
+            out[2 * i], out[2 * i + 1] = self.encode_dep(dep)
+        return out
+
+    def encode_many(self, seqs):
+        """2-D array of encodings for an iterable of equal-length sequences."""
+        seqs = list(seqs)
+        if not seqs:
+            return np.empty((0, 0))
+        return np.vstack([self.encode_seq(s) for s in seqs])
+
+    def n_inputs(self, seq_len):
+        return 2 * seq_len

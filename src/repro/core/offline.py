@@ -1,0 +1,510 @@
+"""Offline training of ACT networks from correct-execution traces.
+
+Section III.B: traces from correct runs (test-suite executions) are
+turned into positive sequence examples plus synthesised negatives
+(store-before-last), then a network is trained per program. The paper
+trains one topology for all threads with per-thread weights; our
+workloads' threads run symmetric code, so by default the trainer pools
+all threads' sequences into one weight set and replicates it per thread
+(weights then diverge during online training). Per-thread training is
+available via ``pool_threads=False``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.core.act_module import ACTModule
+from repro.core.config import ACTConfig
+from repro.core.encoding import DepEncoder
+from repro.nn.network import OneHiddenLayerNet, SigmoidTable
+from repro.nn.trainer import (
+    TrainConfig,
+    evaluate_misprediction,
+    search_topology,
+    train_network,
+)
+from repro.trace.raw import (
+    dep_sequences,
+    extract_raw_deps_with_negatives,
+    negative_sequences,
+)
+from repro.workloads.framework import run_program
+
+
+def collect_correct_runs(program, n_runs, seed0=0, **params):
+    """Run ``program`` ``n_runs`` times with distinct seeds; all must pass.
+
+    These model the paper's test-suite executions used for offline
+    training and for building the post-processing Correct Set.
+    """
+    runs = []
+    seed = seed0
+    while len(runs) < n_runs:
+        run = run_program(program, seed=seed, **params)
+        seed += 1
+        if run.failed:
+            raise ReproError(
+                f"{run.meta.get('program')}: training run with seed "
+                f"{run.seed} failed ({run.failure}); offline training "
+                "uses only correct executions")
+        runs.append(run)
+    return runs
+
+
+def sequences_from_runs(runs, seq_len, filter_stack=True, pool_threads=True,
+                        granularity=4):
+    """Extract (positive, negative) sequence lists from runs.
+
+    ``granularity`` is the last-writer tracking unit in bytes (4 =
+    perfect word table; a line size = what the deployed hardware sees).
+
+    Returns either flat lists (pooled) or ``{tid: (pos, neg)}``.
+    """
+    pooled_pos, pooled_neg = [], []
+    per_thread: Dict[int, tuple] = {}
+    for run in runs:
+        streams = extract_raw_deps_with_negatives(
+            run, filter_stack=filter_stack, granularity=granularity)
+        for tid, stream in streams.items():
+            pos = dep_sequences(stream, seq_len)
+            neg = negative_sequences(stream, seq_len)
+            if pool_threads:
+                pooled_pos.extend(pos)
+                pooled_neg.extend(neg)
+            else:
+                prev = per_thread.setdefault(tid, ([], []))
+                prev[0].extend(pos)
+                prev[1].extend(neg)
+    if pool_threads:
+        return pooled_pos, pooled_neg
+    return per_thread
+
+
+def _dedupe(seqs):
+    return list(dict.fromkeys(seqs))
+
+
+def _store_universe(code_map):
+    """All static store pcs of the program (for negative augmentation).
+
+    A bug's wild dependence often comes from a store *no load ever
+    legitimately reads* (a free, a reset, an adjacent allocation), so
+    the corruption candidates must cover every store in the binary, not
+    only those observed as dependence sources.
+    """
+    if code_map is None:
+        return None
+    from repro.trace.events import EventKind
+    return [pc for pc, site in code_map._sites.items()
+            if site.kind == EventKind.STORE]
+
+
+def augment_negative_sequences(pos_seqs, seed=0, per_positive=2,
+                               store_pcs=None, protected_pairs=None):
+    """Synthesize extra invalid sequences by corrupting the last writer.
+
+    The paper's negative examples pair each load with the store *before*
+    the last store to the same address. With our (much smaller) traces
+    that alone under-populates the invalid class, so we additionally
+    corrupt each valid sequence's newest dependence: replace its store
+    with another store pc drawn from the program's observed stores such
+    that the resulting (store, load) pair never occurs as a valid
+    dependence. This teaches the geometric rule the hardware needs --
+    "this load has a specific set of legal writers" -- and is exactly
+    the class of invalid dependence a bug produces.
+    """
+    from repro.common.rng import make_rng
+    from repro.trace.raw import RawDep
+
+    pos_seqs = _dedupe(pos_seqs)
+    if store_pcs is None:
+        store_pcs = {d.store_pc for seq in pos_seqs for d in seq}
+    store_pcs = sorted(store_pcs)
+    valid_pairs = {(d.store_pc, d.load_pc) for seq in pos_seqs for d in seq}
+    if protected_pairs:
+        # Pairs the deployed hardware can legitimately form (e.g. line-
+        # granularity aliases) must never be taught as invalid.
+        valid_pairs = valid_pairs | set(protected_pairs)
+    rng = make_rng(seed, stream=0xAE6)
+    out = []
+    for seq in pos_seqs:
+        last = seq[-1]
+        candidates = [s for s in store_pcs
+                      if (s, last.load_pc) not in valid_pairs]
+        if not candidates:
+            continue
+        k = min(per_positive, len(candidates))
+        for s in rng.sample(candidates, k):
+            # The corrupted dependence keeps the original's thread label:
+            # the label axis must stay neutral (a dependence may be
+            # legitimately intra- or inter-thread depending on the
+            # interleaving, so a flipped label is not evidence of a bug).
+            bad = RawDep(s, last.load_pc, inter_thread=last.inter_thread)
+            out.append(seq[:-1] + (bad,))
+    return _dedupe(out)
+
+
+@dataclass
+class TrainedACT:
+    """A trained ACT configuration ready for deployment.
+
+    Stores the topology, the encoder, and per-thread weight arrays --
+    the binary-augmentation artifact of Section IV.C.
+    """
+
+    config: ACTConfig
+    encoder: DepEncoder
+    weights: Dict[int, np.ndarray]  # tid -> flat weight array
+    default_weights: np.ndarray
+    train_error: float = 0.0
+    test_mispred_rate: float = 0.0
+    topology: str = ""
+    metrics: dict = field(default_factory=dict)
+
+    def has_weights(self, tid):
+        """The ``chkwt`` instruction: does this thread have saved weights?"""
+        return tid in self.weights
+
+    def weights_for(self, tid):
+        """Weights for a thread, falling back to the pooled default."""
+        return self.weights.get(tid, self.default_weights)
+
+    def make_network(self, tid=0):
+        net = OneHiddenLayerNet(
+            self.config.n_inputs, self.config.n_hidden,
+            max_inputs=self.config.max_inputs,
+            sigmoid=SigmoidTable(self.config.sigmoid_resolution))
+        net.write_weights(self.weights_for(tid))
+        return net
+
+    def make_module(self, tid=0):
+        """A fresh AM for one core, initialised with the thread's weights."""
+        return ACTModule(config=self.config, encoder=self.encoder,
+                         net=self.make_network(tid), tid=tid)
+
+    def record_thread_weights(self, tid, flat):
+        """Patch the binary with weights read out at thread exit."""
+        self.weights[tid] = np.asarray(flat, dtype=float).copy()
+
+    def train_negative_feedback(self, invalid_seqs, support_runs=None,
+                                learning_rate=None, epochs=500):
+        """Teach confirmed-invalid sequences as negative examples.
+
+        Section III.C: "If the neural network predicts an invalid RAW
+        dependence sequence to be valid and a failure occurs, ACT will
+        not be able to diagnose it. If ... the programmer ... is able
+        to pinpoint the invalid dependence sequence, the sequence can
+        be fed to the neural network (similar to offline training) as
+        a negative example."
+
+        Every stored weight set (the default and each thread's) is
+        updated in place. ``support_runs`` optionally supplies correct
+        runs whose sequences are rehearsed as positives during the
+        update so existing knowledge is not catastrophically forgotten.
+
+        Returns the number of weight sets updated.
+        """
+        lr = learning_rate or self.config.learning_rate
+        seqs = list(invalid_seqs)
+        if not seqs:
+            return 0
+        xs_neg = [self.encoder.encode_seq(s) for s in seqs]
+        xs_pos = []
+        if support_runs:
+            pos, _neg = sequences_from_runs(
+                support_runs, self.config.seq_len,
+                filter_stack=self.config.filter_stack_loads)
+            xs_pos = [self.encoder.encode_seq(s)
+                      for s in dict.fromkeys(pos)]
+
+        updated = 0
+        targets = list(self.weights.keys())
+        for key in [None] + targets:
+            net = OneHiddenLayerNet(
+                self.config.n_inputs, self.config.n_hidden,
+                max_inputs=self.config.max_inputs,
+                sigmoid=SigmoidTable(self.config.sigmoid_resolution))
+            net.write_weights(self.default_weights if key is None
+                              else self.weights[key])
+            for _ in range(epochs):
+                # Cross-entropy gradient: the network is confidently
+                # wrong about these sequences, so the plain sigmoid rule
+                # would be stuck in saturation.
+                for x in xs_neg:
+                    net.train_example_ce(x, 0.1, lr)
+                for x in xs_pos:
+                    net.train_example(x, 0.9, lr)
+                if all(not net.predict_valid(x) for x in xs_neg):
+                    break
+            flat = net.read_weights()
+            if key is None:
+                self.default_weights = flat
+            else:
+                self.weights[key] = flat
+            updated += 1
+        return updated
+
+
+class OfflineTrainer:
+    """Drives offline training end-to-end for one program."""
+
+    def __init__(self, config=None, train_config=None,
+                 augment_negatives=True, augment_per_positive=4,
+                 drop_ambiguous_negatives=True, train_line_view=True):
+        self.config = config or ACTConfig()
+        self.train_config = train_config or TrainConfig(
+            learning_rate=self.config.learning_rate)
+        self.augment_negatives = augment_negatives
+        self.augment_per_positive = augment_per_positive
+        self.drop_ambiguous_negatives = drop_ambiguous_negatives
+        self.train_line_view = train_line_view
+
+    def train(self, program=None, runs=None, n_runs=10, seed0=0,
+              pool_threads=True, encoder=None, **params) -> TrainedACT:
+        """Train from a program (running it) or from pre-collected runs."""
+        if runs is None:
+            if program is None:
+                raise ReproError("need a program or pre-collected runs")
+            runs = collect_correct_runs(program, n_runs, seed0=seed0, **params)
+        if encoder is None:
+            code_map = runs[0].code_map
+            if code_map is None:
+                raise ReproError("runs carry no code map; pass an encoder")
+            encoder = DepEncoder(code_map=code_map)
+
+        cfg = self.config
+        store_universe = _store_universe(runs[0].code_map)
+        if self.augment_negatives:
+            from repro.trace.raw import line_level_pairs
+            self._protected_pairs = line_level_pairs(
+                runs, line_size=cfg.line_size,
+                filter_stack=cfg.filter_stack_loads)
+        else:
+            self._protected_pairs = set()
+        if pool_threads:
+            pos, neg = sequences_from_runs(
+                runs, cfg.seq_len, filter_stack=cfg.filter_stack_loads)
+            if not cfg.lw_word_granularity and self.train_line_view:
+                # The deployed hardware sees line-granularity writers;
+                # train on that view as well so its benign aliases are
+                # in-distribution (Section V: "the increase [in
+                # misprediction] is insignificant").
+                line_pos, _line_neg = sequences_from_runs(
+                    runs, cfg.seq_len, filter_stack=cfg.filter_stack_loads,
+                    granularity=cfg.line_size)
+                pos = pos + line_pos
+            weights, result = self._train_one(pos, neg, encoder,
+                                              store_universe)
+            per_thread = {}
+            default = weights
+            train_error = result.train_error
+        else:
+            per_stream = sequences_from_runs(
+                runs, cfg.seq_len, filter_stack=cfg.filter_stack_loads,
+                pool_threads=False)
+            per_thread = {}
+            default = None
+            errors = []
+            for tid, (pos, neg) in sorted(per_stream.items()):
+                if not pos:
+                    continue
+                weights, result = self._train_one(pos, neg, encoder,
+                                                  store_universe)
+                per_thread[tid] = weights
+                errors.append(result.train_error)
+                if default is None:
+                    default = weights
+            if default is None:
+                raise ReproError("no thread produced any dependence sequence")
+            train_error = float(np.mean(errors)) if errors else 0.0
+
+        return TrainedACT(config=cfg, encoder=encoder, weights=per_thread,
+                          default_weights=default, train_error=train_error,
+                          topology=f"{cfg.n_inputs}-{cfg.n_hidden}-1")
+
+    def _train_one(self, pos_seqs, neg_seqs, encoder, store_universe=None):
+        pos_unique, neg_unique = self.prepare_examples(
+            pos_seqs, neg_seqs, store_universe=store_universe)
+        xs_pos = encoder.encode_many(pos_unique)
+        xs_neg = encoder.encode_many(neg_unique)
+        result = train_network(xs_pos, xs_neg, self.config.n_hidden,
+                               config=self.train_config,
+                               max_inputs=self.config.max_inputs)
+        return result.net.read_weights(), result
+
+    def prepare_examples(self, pos_seqs, neg_seqs, store_universe=None):
+        """The offline-training recipe, shared by train() and search():
+        dedupe, drop contradiction-teaching negatives, augment with
+        wrong-writer corruptions (honouring line-alias protection)."""
+        if not pos_seqs:
+            raise ReproError("no positive sequences to train on")
+        pos_unique = _dedupe(pos_seqs)
+        neg_unique = _dedupe(neg_seqs)
+        if self.drop_ambiguous_negatives:
+            # A before-last-store negative whose final dependence also
+            # occurs as a *valid* dependence (same store, load and
+            # label) elsewhere teaches a contradiction: in programs with
+            # nondeterministic interleavings the same pair is valid in
+            # some schedules. Keeping such negatives makes the network
+            # memorise exact windows and reject every unseen benign
+            # permutation. Contextual single-pair anomalies are instead
+            # covered by the wrong-writer augmentation below.
+            valid_triples = {(d.store_pc, d.load_pc, d.inter_thread)
+                             for s in pos_unique for d in s}
+            neg_unique = [
+                s for s in neg_unique
+                if (s[-1].store_pc, s[-1].load_pc, s[-1].inter_thread)
+                not in valid_triples]
+        if self.augment_negatives:
+            extra = augment_negative_sequences(
+                pos_unique, seed=self.train_config.seed,
+                per_positive=self.augment_per_positive,
+                store_pcs=store_universe,
+                protected_pairs=getattr(self, "_protected_pairs", None))
+            pos_set = set(pos_unique)
+            neg_unique = _dedupe(neg_unique
+                                 + [s for s in extra if s not in pos_set])
+        return pos_unique, neg_unique
+
+    # ------------------------------------------------------------------
+    # Table IV: topology search + misprediction evaluation
+    # ------------------------------------------------------------------
+
+    def search(self, program=None, train_runs=None, test_runs=None,
+               seq_lens=(1, 2, 3, 4, 5), hidden_widths=None,
+               n_train_runs=10, n_test_runs=10, seed0=0, **params):
+        """Grid-search topologies as in Table IV.
+
+        Training examples come from ``train_runs``; the misprediction
+        rate is the dynamic false-positive rate over ``test_runs``.
+        Returns (best TopologyChoice, all choices, encoder).
+        """
+        if train_runs is None or test_runs is None:
+            runs = collect_correct_runs(program, n_train_runs + n_test_runs,
+                                        seed0=seed0, **params)
+            train_runs = runs[:n_train_runs]
+            test_runs = runs[n_train_runs:]
+        encoder = DepEncoder(code_map=train_runs[0].code_map)
+        cfg = self.config
+        store_universe = _store_universe(train_runs[0].code_map)
+        if self.augment_negatives:
+            from repro.trace.raw import line_level_pairs
+            self._protected_pairs = line_level_pairs(
+                train_runs, line_size=cfg.line_size,
+                filter_stack=cfg.filter_stack_loads)
+
+        example_sets = {}
+        for n in seq_lens:
+            tr_pos, tr_neg = sequences_from_runs(
+                train_runs, n, filter_stack=cfg.filter_stack_loads)
+            te_pos, _te_neg = sequences_from_runs(
+                test_runs, n, filter_stack=cfg.filter_stack_loads)
+            if not tr_pos or not te_pos:
+                continue
+            if not cfg.lw_word_granularity and self.train_line_view:
+                line_pos, _ = sequences_from_runs(
+                    train_runs, n, filter_stack=cfg.filter_stack_loads,
+                    granularity=cfg.line_size)
+                tr_pos = tr_pos + line_pos
+            pos_unique, neg_unique = self.prepare_examples(
+                tr_pos, tr_neg, store_universe=store_universe)
+            # Table IV tests contain no invalid dependences: the measured
+            # rate is purely false positives, so negatives stay out of
+            # the test set here.
+            example_sets[n] = (
+                encoder.encode_many(pos_unique),
+                encoder.encode_many(neg_unique),
+                encoder.encode_many(te_pos),
+                np.empty((0, 2 * n)),
+            )
+        if not example_sets:
+            raise ReproError("no sequence length produced training examples")
+        best, choices = search_topology(
+            example_sets, hidden_widths=hidden_widths,
+            config=self.train_config, max_inputs=self.config.max_inputs)
+        return best, choices, encoder
+
+
+def evaluate_false_positive_rate(trained, runs):
+    """Dynamic fraction of valid sequences predicted invalid over runs."""
+    net = trained.make_network()
+    cfg = trained.config
+    pos, _neg = sequences_from_runs(runs, cfg.seq_len,
+                                    filter_stack=cfg.filter_stack_loads)
+    if not pos:
+        return 0.0
+    xs = trained.encoder.encode_many(pos)
+    return evaluate_misprediction(net, xs, None)
+
+
+def evaluate_false_negative_rate(trained, runs):
+    """Fraction of synthesized invalid sequences predicted valid."""
+    net = trained.make_network()
+    cfg = trained.config
+    _pos, neg = sequences_from_runs(runs, cfg.seq_len,
+                                    filter_stack=cfg.filter_stack_loads)
+    if not neg:
+        return 0.0
+    xs = trained.encoder.encode_many(neg)
+    return evaluate_misprediction(net, None, xs)
+
+
+def strict_invalid_sequences(runs, config, reference_runs=None, seed=0):
+    """Sequences whose final dependence is *certainly* invalid.
+
+    The paper "intentionally form[s] invalid RAW dependences (e.g., RAW
+    dependences with a store instruction before the last one)". In
+    programs with nondeterministic interleavings the before-last writer
+    is often a legitimate writer under another schedule, so testing on
+    raw before-last negatives mislabels genuinely-valid dependences as
+    invalid. This builds the *strict* set: before-last-store negatives
+    plus wrong-writer corruptions, keeping only those whose final
+    (store, load, label) never occurs as a valid dependence anywhere in
+    ``runs`` + ``reference_runs`` and is not a line-granularity alias of
+    one.
+    """
+    from repro.trace.raw import line_level_pairs
+
+    cfg = config
+    all_runs = list(runs) + list(reference_runs or [])
+    pos, neg = sequences_from_runs(runs, cfg.seq_len,
+                                   filter_stack=cfg.filter_stack_loads)
+    ref_pos, _ = sequences_from_runs(all_runs, cfg.seq_len,
+                                     filter_stack=cfg.filter_stack_loads)
+    valid_triples = {(d.store_pc, d.load_pc, d.inter_thread)
+                     for s in ref_pos for d in s}
+    protected = line_level_pairs(all_runs, line_size=cfg.line_size,
+                                 filter_stack=cfg.filter_stack_loads)
+
+    def strictly_invalid(dep):
+        if (dep.store_pc, dep.load_pc, dep.inter_thread) in valid_triples:
+            return False
+        return (dep.store_pc, dep.load_pc) not in protected
+
+    out = [s for s in _dedupe(neg) if strictly_invalid(s[-1])]
+    store_universe = _store_universe(all_runs[0].code_map)
+    if store_universe is None:
+        store_universe = sorted({d.store_pc for s in ref_pos for d in s})
+    corrupted = augment_negative_sequences(
+        _dedupe(pos), seed=seed, per_positive=2, store_pcs=store_universe,
+        protected_pairs=protected | {(d.store_pc, d.load_pc)
+                                     for s in ref_pos for d in s})
+    out.extend(s for s in corrupted if strictly_invalid(s[-1]))
+    return _dedupe(out)
+
+
+def evaluate_strict_false_negative_rate(trained, runs, reference_runs=None):
+    """False-negative rate over :func:`strict_invalid_sequences`.
+
+    Returns (rate, n_tested).
+    """
+    seqs = strict_invalid_sequences(runs, trained.config,
+                                    reference_runs=reference_runs)
+    if not seqs:
+        return 0.0, 0
+    net = trained.make_network()
+    xs = trained.encoder.encode_many(seqs)
+    return evaluate_misprediction(net, None, xs), len(seqs)

@@ -1,0 +1,131 @@
+"""Thread-library integration (Section IV.C-D).
+
+The paper extends the threading library so ACT state follows threads:
+
+- thread ids are assigned by parent + spawn order, so the same logical
+  thread gets the same weights across executions;
+- ``pthread_create`` checks ``chkwt`` and initialises the AM's weight
+  registers with a loop of ``stwt`` (falling back to default weights,
+  which mispredict enough to push the AM into online training);
+- ``pthread_exit`` reads the registers back with ``ldwt`` into a log
+  that later *patches the binary*, so training done in one execution
+  carries into the next;
+- on a context switch or migration the weight registers are saved and
+  restored like any architectural state.
+
+:class:`ACTThreadLibrary` models exactly that life cycle over
+:class:`~repro.core.offline.TrainedACT` (the "binary") and
+:class:`~repro.core.act_module.ACTModule` (the per-core hardware).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ThreadId:
+    """Stable thread identity: (parent id, spawn index).
+
+    The root thread is ``ThreadId(None, 0)``. Identity depends only on
+    spawn *order*, not on scheduling, which is what makes per-thread
+    weights reusable across executions (Section IV.C).
+    """
+
+    parent: Optional[Tuple] = None
+    spawn_index: int = 0
+
+    def key(self):
+        return (self.parent, self.spawn_index)
+
+
+class ACTThreadLibrary:
+    """Models the augmented pthread create/exit/switch paths."""
+
+    def __init__(self, trained):
+        self.trained = trained
+        self._spawn_counters: Dict[Tuple, int] = {}
+        self._live: Dict[Tuple, object] = {}
+        # The "special log file" of weights read out at thread exit.
+        self.exit_log: Dict[Tuple, np.ndarray] = {}
+        self.stats = {"created": 0, "chkwt_hits": 0, "chkwt_misses": 0,
+                      "exited": 0, "switches": 0}
+
+    # ------------------------------------------------------------------
+    # Thread life cycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, parent=None):
+        """Allocate the next stable id for a child of ``parent``."""
+        pkey = parent.key() if parent is not None else None
+        idx = self._spawn_counters.get(pkey, 0)
+        self._spawn_counters[pkey] = idx + 1
+        return ThreadId(parent=pkey, spawn_index=idx)
+
+    def on_thread_create(self, thread_id, core_tid=0):
+        """``pthread_create``: build the thread's AM.
+
+        Returns the AM with weights initialised from the binary when
+        ``chkwt`` says the thread has them, else the default weights.
+        """
+        key = thread_id.key()
+        if key in self._live:
+            raise ReproError(f"thread {thread_id} already running")
+        if key in self.trained.weights:
+            self.stats["chkwt_hits"] += 1
+            module = self.trained.make_module(0)
+            module.restore_weights(self.trained.weights[key])
+        else:
+            self.stats["chkwt_misses"] += 1
+            module = self.trained.make_module(core_tid)
+        module.tid = core_tid
+        self._live[key] = module
+        self.stats["created"] += 1
+        return module
+
+    def on_thread_exit(self, thread_id):
+        """``pthread_exit``: read the weight registers into the log."""
+        key = thread_id.key()
+        module = self._live.pop(key, None)
+        if module is None:
+            raise ReproError(f"thread {thread_id} is not running")
+        self.exit_log[key] = module.save_weights()
+        self.stats["exited"] += 1
+        return self.exit_log[key]
+
+    def patch_binary(self):
+        """Fold the exit log into the binary's per-thread weights.
+
+        Returns the number of thread entries patched. After this, the
+        next execution's ``chkwt`` finds the weights trained online in
+        this one.
+        """
+        patched = 0
+        for key, weights in self.exit_log.items():
+            self.trained.weights[key] = weights.copy()
+            patched += 1
+        self.exit_log.clear()
+        return patched
+
+    # ------------------------------------------------------------------
+    # Context switch / migration (Section IV.D)
+    # ------------------------------------------------------------------
+
+    def context_switch(self, thread_id, from_module, to_module):
+        """Migrate a thread's AM state between cores.
+
+        The pipeline's in-flight inputs are flushed and the weight
+        registers move with the thread, exactly as the OS save/restore
+        of architectural state would.
+        """
+        saved = from_module.context_switch_out()
+        to_module.context_switch_in(saved)
+        self._live[thread_id.key()] = to_module
+        self.stats["switches"] += 1
+        return to_module
+
+    def live_threads(self):
+        return list(self._live)

@@ -1,0 +1,27 @@
+"""Neural hardware substrate.
+
+Functional model: a partially configurable one-hidden-layer network
+(topology ``i-h-1`` with ``i, h <= M``) trained by back-propagation
+(Section II.A, IV.A).
+
+Timing models: the paper's three-stage pipeline (S1 input FIFO, S2
+hidden layer, S3 output neuron) with the multiply-add-unit count as the
+latency knob, and the fully configurable time-multiplexed design
+(Esmaeilzadeh-style) used as the design-choice comparison point.
+"""
+
+from repro.nn.network import OneHiddenLayerNet, SigmoidTable
+from repro.nn.pipeline import ACTPipelineModel, NeuronTiming
+from repro.nn.timemux import TimeMultiplexedModel
+from repro.nn.trainer import TrainConfig, TrainResult, train_network
+
+__all__ = [
+    "OneHiddenLayerNet",
+    "SigmoidTable",
+    "ACTPipelineModel",
+    "NeuronTiming",
+    "TimeMultiplexedModel",
+    "TrainConfig",
+    "TrainResult",
+    "train_network",
+]

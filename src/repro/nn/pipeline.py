@@ -1,0 +1,119 @@
+"""Cycle-level timing model of the ACT three-stage neural pipeline.
+
+Section IV.A: stage S1 is the input FIFO (1 cycle), S2 the hidden layer,
+S3 the single output neuron. Each of S2/S3 takes ``T`` cycles, where a
+neuron with ``M`` inputs and ``x`` multiply-add units needs
+
+    T = ceil(M / x) * T_muladd + T_rest
+
+cycles (``T_rest`` covers the accumulator and sigmoid-table lookups).
+
+During *online testing* the network is pipelined: with a full FIFO it
+accepts a new input every ``T`` cycles. During *online training* back
+propagation makes stage connections bidirectional and an input must
+drain completely before the next enters: one input every ``4T`` cycles.
+When the FIFO is full the corresponding load is stalled at retirement
+(the machine model in :mod:`repro.sim` uses :meth:`ACTPipelineModel.offer`
+for that back-pressure).
+"""
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NeuronTiming:
+    """Latency parameters of one hardware neuron (Table III defaults)."""
+
+    max_inputs: int = 10
+    muladd_units: int = 2
+    t_muladd: int = 1
+    t_accumulator: int = 1
+    t_sigmoid: int = 1
+
+    def __post_init__(self):
+        if self.muladd_units < 1:
+            raise ConfigError("need at least one multiply-add unit")
+        if self.muladd_units > self.max_inputs:
+            raise ConfigError("more multiply-add units than inputs is wasted")
+
+    @property
+    def t_rest(self):
+        return self.t_accumulator + self.t_sigmoid
+
+    def neuron_latency(self):
+        """Cycles for one neuron to produce its output (``T``)."""
+        return (math.ceil(self.max_inputs / self.muladd_units) * self.t_muladd
+                + self.t_rest)
+
+
+class ACTPipelineModel:
+    """Finite-FIFO deterministic-service queue for the NN pipeline.
+
+    The model tracks, for each accepted input, the cycle at which it
+    leaves the FIFO and enters S2. Input ``j`` starts service at
+    ``max(arrival_j, start_{j-1} + interval)`` where the interval is
+    ``T`` in testing mode and ``4T`` in training mode. The FIFO holds
+    inputs that have arrived but not yet started service; when it is
+    full, :meth:`offer` rejects and reports the earliest retry cycle.
+    """
+
+    TRAINING_SLOWDOWN = 4
+
+    def __init__(self, timing=None, fifo_depth=8):
+        if fifo_depth < 1:
+            raise ConfigError("FIFO depth must be positive")
+        self.timing = timing or NeuronTiming()
+        self.fifo_depth = fifo_depth
+        self.latency = self.timing.neuron_latency()
+        self._pending_starts = deque()
+        self._last_start = None
+        self.accepted = 0
+        self.rejected = 0
+
+    def service_interval(self, training):
+        return self.latency * (self.TRAINING_SLOWDOWN if training else 1)
+
+    def offer(self, cycle, training=False):
+        """Try to insert an input at ``cycle``.
+
+        Returns:
+            (accepted, retry_cycle): ``retry_cycle`` is the cycle at
+            which the caller should retry when rejected, else ``cycle``.
+        """
+        while self._pending_starts and self._pending_starts[0] <= cycle:
+            self._pending_starts.popleft()
+        if len(self._pending_starts) >= self.fifo_depth:
+            self.rejected += 1
+            return False, self._pending_starts[0]
+        interval = self.service_interval(training)
+        if self._last_start is None:
+            start = cycle
+        else:
+            start = max(cycle, self._last_start + interval)
+        self._pending_starts.append(start)
+        self._last_start = start
+        self.accepted += 1
+        return True, cycle
+
+    def completion_cycle(self):
+        """Cycle when the most recently accepted input's output is ready.
+
+        S1 (1 cycle) + S2 (T) + S3 (T) after its service start.
+        """
+        if self._last_start is None:
+            return 0
+        return self._last_start + 1 + 2 * self.latency
+
+    def occupancy(self, cycle):
+        """FIFO entries still waiting at ``cycle`` (for tests/stats)."""
+        return sum(1 for s in self._pending_starts if s > cycle)
+
+    def reset(self):
+        self._pending_starts.clear()
+        self._last_start = None
+        self.accepted = 0
+        self.rejected = 0

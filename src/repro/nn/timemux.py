@@ -1,0 +1,71 @@
+"""Timing model of a *fully configurable* time-multiplexed NN accelerator.
+
+The design-choice comparison of the paper (contribution 3): a fully
+configurable accelerator in the style of Esmaeilzadeh et al.'s NPU maps
+an arbitrary topology onto a fixed pool of physical processing engines
+(PEs) by time multiplexing, paying a scheduling/configuration overhead
+per round. ACT instead fixes the shape to ``i-h-1`` and maps it onto a
+three-stage pipeline with no scheduling at all.
+
+For an ``i-h-1`` topology on ``n_pe`` engines the multiplexed design
+needs ``ceil(h / n_pe)`` rounds for the hidden layer plus one round for
+the output neuron, each round costing the neuron latency plus
+``t_schedule`` cycles of sequencer/config overhead. Because the PE pool
+is re-configured per layer and per input, consecutive inputs cannot be
+pipelined: throughput equals 1 / latency.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.nn.pipeline import NeuronTiming
+
+
+@dataclass(frozen=True)
+class TimeMultiplexedModel:
+    """Latency/throughput model for the fully configurable design."""
+
+    timing: NeuronTiming = NeuronTiming()
+    n_pe: int = 8
+    t_schedule: int = 2  # per-round sequencing/configuration overhead
+
+    def rounds(self, n_hidden):
+        return math.ceil(n_hidden / self.n_pe) + 1  # hidden rounds + output
+
+    def input_latency(self, n_hidden):
+        """Cycles to fully evaluate one input."""
+        per_round = self.timing.neuron_latency() + self.t_schedule
+        return self.rounds(n_hidden) * per_round
+
+    def steady_state_interval(self, n_hidden, training=False):
+        """Cycles between consecutive accepted inputs.
+
+        No cross-input pipelining; training triples the per-input work
+        (forward + two backward passes through the multiplexed pool).
+        """
+        lat = self.input_latency(n_hidden)
+        return lat * (3 if training else 1)
+
+    def throughput(self, n_hidden, training=False):
+        """Inputs per cycle at steady state."""
+        return 1.0 / self.steady_state_interval(n_hidden, training)
+
+
+def compare_designs(timing=None, n_hidden=10, fifo_depth=8):
+    """Side-by-side latency/interval of the ACT pipeline vs time-mux design.
+
+    Returns a dict of metrics used by the design-comparison benchmark.
+    """
+    from repro.nn.pipeline import ACTPipelineModel
+
+    timing = timing or NeuronTiming()
+    act = ACTPipelineModel(timing=timing, fifo_depth=fifo_depth)
+    mux = TimeMultiplexedModel(timing=timing)
+    return {
+        "act_input_latency": 1 + 2 * act.latency,
+        "act_test_interval": act.service_interval(training=False),
+        "act_train_interval": act.service_interval(training=True),
+        "mux_input_latency": mux.input_latency(n_hidden),
+        "mux_test_interval": mux.steady_state_interval(n_hidden),
+        "mux_train_interval": mux.steady_state_interval(n_hidden, training=True),
+    }

@@ -1,0 +1,26 @@
+"""Multicore timing simulator.
+
+Trace-driven model of the Table III machine: private L1/L2 per core,
+snoopy MESI coherence, cache-line last-writer metadata with the
+Section V simplifications, and the ACT Module's NN-pipeline
+back-pressure on load retirement. Used for the overhead and
+false-sharing studies; the functional replay also supplies the
+cache-event annotations the PBI baseline samples.
+"""
+
+from repro.sim.cache import Cache, CacheLine
+from repro.sim.coherence import AccessResult, CoherentMemorySystem, MESIState
+from repro.sim.machine import Machine, MachineResult, simulate_run
+from repro.sim.params import MachineParams
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "AccessResult",
+    "CoherentMemorySystem",
+    "MESIState",
+    "Machine",
+    "MachineResult",
+    "simulate_run",
+    "MachineParams",
+]

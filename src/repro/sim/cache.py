@@ -1,0 +1,89 @@
+"""Set-associative cache with LRU replacement and per-line metadata.
+
+The cache tracks presence only (data values live in the trace replay);
+each line carries the last-writer metadata ACT needs, at word or line
+granularity.
+"""
+
+from collections import OrderedDict
+
+from repro.common.errors import ConfigError
+
+
+class CacheLine:
+    """Metadata for one resident line."""
+
+    __slots__ = ("addr", "state", "last_writer")
+
+    def __init__(self, addr, state="I"):
+        self.addr = addr          # line-aligned base address
+        self.state = state        # MESI state letter
+        # Word-granularity: {word_offset: (pc, tid)}; line granularity
+        # uses the single key 0 for the whole line.
+        self.last_writer = {}
+
+    def set_writer(self, offset, pc, tid, word_granularity):
+        key = offset if word_granularity else 0
+        self.last_writer[key] = (pc, tid)
+
+    def get_writer(self, offset, word_granularity):
+        key = offset if word_granularity else 0
+        return self.last_writer.get(key)
+
+
+class Cache:
+    """One level of a private cache hierarchy."""
+
+    def __init__(self, n_sets, assoc, line_size):
+        if n_sets < 1 or assoc < 1:
+            raise ConfigError("cache needs at least one set and one way")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.line_size = line_size
+        # set index -> OrderedDict(line_addr -> CacheLine); order = LRU
+        # (oldest first).
+        self._sets = [OrderedDict() for _ in range(n_sets)]
+
+    def _index(self, line_addr):
+        return (line_addr // self.line_size) % self.n_sets
+
+    def line_addr(self, addr):
+        return addr - (addr % self.line_size)
+
+    def lookup(self, addr, touch=True):
+        """Return the resident :class:`CacheLine` or None."""
+        la = self.line_addr(addr)
+        s = self._sets[self._index(la)]
+        line = s.get(la)
+        if line is not None and touch:
+            s.move_to_end(la)
+        return line
+
+    def insert(self, addr, state):
+        """Insert a line; returns (line, evicted_line_or_None)."""
+        la = self.line_addr(addr)
+        s = self._sets[self._index(la)]
+        if la in s:
+            line = s[la]
+            line.state = state
+            s.move_to_end(la)
+            return line, None
+        evicted = None
+        if len(s) >= self.assoc:
+            _, evicted = s.popitem(last=False)
+        line = CacheLine(la, state)
+        s[la] = line
+        return line, evicted
+
+    def invalidate(self, addr):
+        """Remove a line; returns it (or None)."""
+        la = self.line_addr(addr)
+        s = self._sets[self._index(la)]
+        return s.pop(la, None)
+
+    def resident_lines(self):
+        for s in self._sets:
+            yield from s.values()
+
+    def __contains__(self, addr):
+        return self.lookup(addr, touch=False) is not None

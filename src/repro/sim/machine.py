@@ -1,0 +1,208 @@
+"""Trace-driven timing model of the multicore with ACT modules.
+
+Each core replays its thread's events in global trace order with a
+private clock:
+
+- every traced memory event is charged the amortised front-end cost of
+  the ``instrs_per_memop`` instructions it stands for (3-wide retire);
+- loads/stores add their cache-hierarchy latency from the coherent
+  memory system;
+- with ACT enabled, a load whose RAW dependence forms must be accepted
+  by the core's NN pipeline before it may retire: if the input FIFO is
+  full the core stalls until a slot frees (Section III.C). The pipeline
+  service interval follows the AM's current mode (T testing / 4T
+  training).
+
+Execution time is the maximum per-core clock; ACT overhead is the ratio
+against an identical run without ACT.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.nn.pipeline import ACTPipelineModel, NeuronTiming
+from repro.sim.coherence import CoherentMemorySystem
+from repro.sim.params import MachineParams
+from repro.trace.events import EventKind
+from repro.core.act_module import Mode
+
+
+@dataclass
+class MachineResult:
+    """Outcome of one timed replay."""
+
+    cycles: int
+    core_cycles: Dict[int, float]
+    act_stall_cycles: float = 0.0
+    deps_offered: int = 0
+    deps_stalled: int = 0
+    mem_stats: dict = field(default_factory=dict)
+    act_modules: Optional[dict] = None
+
+    @property
+    def max_core(self):
+        return max(self.core_cycles, key=self.core_cycles.get)
+
+
+class Machine:
+    """A multicore machine bound to one trace replay."""
+
+    def __init__(self, params=None, trained=None, act_config=None):
+        """Args:
+            params: :class:`MachineParams`.
+            trained: optional :class:`~repro.core.offline.TrainedACT`;
+                enables the per-core ACT modules and their pipelines.
+            act_config: overrides ``trained.config`` hardware knobs
+                (muladd units / FIFO depth) when given.
+        """
+        self.params = params or MachineParams()
+        self.memory = CoherentMemorySystem(self.params)
+        self.trained = trained
+        cfg = act_config or (trained.config if trained else None)
+        self._act_cfg = cfg
+        self._modules = {}
+        self._pipes = {}
+
+    def _core_of(self, tid):
+        return tid % self.params.n_cores
+
+    def _act_for(self, tid):
+        if self.trained is None:
+            return None, None
+        core = self._core_of(tid)
+        if core not in self._modules:
+            module = self.trained.make_module(tid)
+            if self._act_cfg is not None:
+                module.config = self._act_cfg
+            timing = NeuronTiming(
+                max_inputs=module.config.max_inputs,
+                muladd_units=module.config.muladd_units)
+            self._modules[core] = module
+            self._pipes[core] = ACTPipelineModel(
+                timing=timing, fifo_depth=module.config.fifo_depth)
+        return self._modules[core], self._pipes[core]
+
+    def run(self, run):
+        """Replay a :class:`TraceRun`; returns a :class:`MachineResult`."""
+        p = self.params
+        clocks: Dict[int, float] = {}
+        base_cost = p.instrs_per_memop / p.retire_width
+        stall_total = 0.0
+        deps_offered = 0
+        deps_stalled = 0
+        filter_stack = (self._act_cfg.filter_stack_loads
+                        if self._act_cfg else True)
+
+        for event in run.events:
+            core = self._core_of(event.tid)
+            clock = clocks.get(core, 0.0)
+            clock += base_cost
+            if event.kind == EventKind.LOAD:
+                res = self.memory.load(core, event.addr)
+                clock += res.latency
+                if (self.trained is not None
+                        and not (filter_stack and event.is_stack)
+                        and res.writer is not None):
+                    module, pipe = self._act_for(event.tid)
+                    from repro.trace.raw import RawDep
+                    wpc, wtid = res.writer
+                    dep = RawDep(wpc, event.pc,
+                                 inter_thread=wtid != self._core_of(event.tid))
+                    pred = module.process_dep(dep)
+                    if pred is not None:
+                        deps_offered += 1
+                        training = module.mode is Mode.TRAINING
+                        accepted, retry = pipe.offer(int(clock),
+                                                     training=training)
+                        if not accepted:
+                            deps_stalled += 1
+                            stall = max(0.0, retry - clock)
+                            stall_total += stall
+                            clock = float(retry)
+                            pipe.offer(int(clock), training=training)
+            elif event.kind == EventKind.STORE:
+                res = self.memory.store(core, event.addr, event.pc)
+                # Stores retire through the write buffer; only the
+                # occupancy of an upgrade/miss shows at retirement.
+                clock += min(res.latency, p.l1_latency)
+            # Branch/ALU events are covered by the amortised base cost.
+            clocks[core] = clock
+
+        cycles = int(max(clocks.values())) if clocks else 0
+        return MachineResult(cycles=cycles, core_cycles=clocks,
+                             act_stall_cycles=stall_total,
+                             deps_offered=deps_offered,
+                             deps_stalled=deps_stalled,
+                             mem_stats=dict(self.memory.stats),
+                             act_modules=self._modules or None)
+
+
+def simulate_run(run, params=None, trained=None, act_config=None):
+    """Convenience wrapper: one replay on a fresh machine."""
+    return Machine(params=params, trained=trained,
+                   act_config=act_config).run(run)
+
+
+def measure_overhead(run, trained, params=None, act_config=None):
+    """Execution-time overhead of ACT for one trace.
+
+    Returns (overhead_fraction, base_result, act_result).
+    """
+    base = simulate_run(run, params=params)
+    withact = simulate_run(run, params=params, trained=trained,
+                           act_config=act_config)
+    if base.cycles == 0:
+        return 0.0, base, withact
+    overhead = withact.cycles / base.cycles - 1.0
+    return overhead, base, withact
+
+
+def annotate_run(run, params=None):
+    """Functional replay: per-event cache annotations for PBI.
+
+    Returns a list aligned with ``run.events``; memory events map to
+    their :class:`AccessResult` (MESI state observed at access), other
+    events map to None.
+    """
+    memory = CoherentMemorySystem(params or MachineParams())
+    out = []
+    for event in run.events:
+        core = event.tid % memory.params.n_cores
+        if event.kind == EventKind.LOAD:
+            out.append(memory.load(core, event.addr))
+        elif event.kind == EventKind.STORE:
+            out.append(memory.store(core, event.addr, event.pc))
+        else:
+            out.append(None)
+    return out
+
+
+def cache_dep_streams(run, params=None, filter_stack=True):
+    """Per-thread RAW dependence streams as the *hardware* would form
+    them -- from cache-line last-writer metadata with all Section V
+    simplifications -- rather than from the perfect software table.
+
+    Used by the false-sharing study to quantify how line granularity,
+    eviction dropping and piggyback filtering perturb the dependences.
+    """
+    from repro.trace.raw import DepRecord, RawDep
+
+    memory = CoherentMemorySystem(params or MachineParams())
+    streams: Dict[int, List[DepRecord]] = {
+        tid: [] for tid in range(run.n_threads)}
+    for index, event in enumerate(run.events):
+        core = event.tid % memory.params.n_cores
+        if event.kind == EventKind.STORE:
+            memory.store(core, event.addr, event.pc)
+        elif event.kind == EventKind.LOAD:
+            if filter_stack and event.is_stack:
+                continue
+            res = memory.load(core, event.addr)
+            if res.writer is None:
+                continue
+            wpc, wtid = res.writer
+            dep = RawDep(wpc, event.pc, inter_thread=wtid != core)
+            streams.setdefault(event.tid, []).append(
+                DepRecord(dep=dep, tid=event.tid, addr=event.addr,
+                          index=index))
+    return streams

@@ -1,0 +1,64 @@
+"""Machine configuration (paper Table III)."""
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Timing and structural parameters of the simulated multicore."""
+
+    n_cores: int = 8
+    # Private caches (sizes in bytes).
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 4
+    l1_latency: int = 2
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 10
+    line_size: int = 64
+    # Bus / memory.
+    cache_to_cache_latency: int = 30
+    memory_latency: int = 300
+    upgrade_latency: int = 10
+    # Core front end: 2-issue / 3-retire, 140-entry ROB.
+    issue_width: int = 2
+    retire_width: int = 3
+    rob_size: int = 140
+    # Each traced memory event stands for this many dynamic
+    # instructions (the tracer records memory operations; the ALU /
+    # address-generation / control instructions between them are
+    # charged in aggregate). SPLASH2/PARSEC-class codes average one
+    # memory access per 3-5 instructions, of which roughly half are
+    # stack accesses our workloads do not emit -- so one *traced* (heap)
+    # memory event stands for ~7 instructions.
+    instrs_per_memop: float = 7.0
+
+    # Last-writer handling (Section V simplifications; all flags are
+    # ablation knobs for the false-sharing study).
+    lw_word_granularity: bool = False
+    lw_writeback_on_evict: bool = False
+    lw_piggyback_dirty_only: bool = True
+
+    def __post_init__(self):
+        if self.line_size < 4 or self.line_size % 4:
+            raise ConfigError("line size must be a positive multiple of 4")
+        for name in ("l1_size", "l2_size"):
+            size = getattr(self, name)
+            if size % (self.line_size * getattr(self, name[:2] + "_assoc")):
+                raise ConfigError(f"{name} must be a multiple of "
+                                  "line_size * associativity")
+        if self.n_cores < 1:
+            raise ConfigError("need at least one core")
+
+    @property
+    def l1_sets(self):
+        return self.l1_size // (self.line_size * self.l1_assoc)
+
+    @property
+    def l2_sets(self):
+        return self.l2_size // (self.line_size * self.l2_assoc)
+
+    def with_(self, **changes):
+        return replace(self, **changes)

@@ -1,0 +1,86 @@
+"""Workload characterisation: what ACT actually observes per program.
+
+Evaluation papers lead their methodology with a workload table; this
+module computes the communication-centric one that matters for ACT:
+instruction mix, dependence counts, the inter-thread share (the
+invariants' difficulty axis) and line-sharing behaviour (the
+false-sharing axis).
+"""
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.trace.events import EventKind
+from repro.trace.raw import extract_raw_deps
+
+
+@dataclass
+class WorkloadProfile:
+    """Communication profile of one execution."""
+
+    name: str
+    n_threads: int
+    events: int
+    loads: int
+    stores: int
+    branches: int
+    alu: int
+    dynamic_deps: int
+    unique_deps: int
+    inter_thread_pct: float
+    shared_addresses: int      # addresses touched by more than one thread
+    multi_writer_lines: int    # cache lines written by multiple threads
+
+    @property
+    def memory_pct(self):
+        if not self.events:
+            return 0.0
+        return 100.0 * (self.loads + self.stores) / self.events
+
+
+def profile_run(run, line_size=64, name=None):
+    """Profile one :class:`~repro.trace.events.TraceRun`."""
+    kinds = Counter(e.kind for e in run.events)
+    streams = extract_raw_deps(run)
+    deps = [rec.dep for s in streams.values() for rec in s]
+    inter = sum(1 for d in deps if d.inter_thread)
+
+    addr_threads = {}
+    line_writers = {}
+    for e in run.events:
+        if not e.kind.is_memory():
+            continue
+        addr_threads.setdefault(e.addr, set()).add(e.tid)
+        if e.kind == EventKind.STORE:
+            line = e.addr - (e.addr % line_size)
+            line_writers.setdefault(line, set()).add(e.tid)
+
+    return WorkloadProfile(
+        name=name or run.meta.get("program", "?"),
+        n_threads=run.n_threads,
+        events=len(run.events),
+        loads=kinds.get(EventKind.LOAD, 0),
+        stores=kinds.get(EventKind.STORE, 0),
+        branches=kinds.get(EventKind.BRANCH, 0),
+        alu=kinds.get(EventKind.ALU, 0),
+        dynamic_deps=len(deps),
+        unique_deps=len(set(deps)),
+        inter_thread_pct=100.0 * inter / len(deps) if deps else 0.0,
+        shared_addresses=sum(1 for t in addr_threads.values() if len(t) > 1),
+        multi_writer_lines=sum(1 for t in line_writers.values()
+                               if len(t) > 1),
+    )
+
+
+def profile_table(profiles):
+    """Render a list of profiles as a text table."""
+    from repro.common.texttable import render_table
+
+    rows = [(p.name, p.n_threads, p.events, f"{p.memory_pct:.0f}",
+             p.dynamic_deps, p.unique_deps, f"{p.inter_thread_pct:.0f}",
+             p.shared_addresses, p.multi_writer_lines)
+            for p in profiles]
+    return render_table(
+        ("Program", "Thr", "Events", "Mem %", "Dyn deps", "Uniq deps",
+         "Inter %", "Shared addrs", "Multi-writer lines"),
+        rows, title="Workload communication profile")

@@ -1,0 +1,102 @@
+"""Dependence-graph views of a program's communication behaviour.
+
+Builds networkx graphs from RAW-dependence streams:
+
+- the **communication graph**: nodes are static memory instructions,
+  edges are observed RAW dependences (weighted by dynamic count) --
+  Figure 3(a)'s picture of a program, useful for understanding what the
+  network must learn;
+- the **sequence graph**: nodes are dependences, edges connect
+  consecutive dependences in a thread's stream -- the paper's
+  "sequence of past communications" as a first-order transition
+  structure. Valid windows are paths in this graph, so its path counts
+  bound the invariant space a topology must memorise.
+"""
+
+import networkx as nx
+
+from repro.trace.raw import extract_raw_deps
+
+
+def communication_graph(runs, filter_stack=True):
+    """Static-instruction communication graph over one or more runs.
+
+    Returns a :class:`networkx.DiGraph` with ``store_pc -> load_pc``
+    edges annotated with ``count`` (dynamic occurrences), ``inter``
+    and ``intra`` (occurrences per thread label).
+    """
+    g = nx.DiGraph()
+    for run in runs:
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            for rec in stream:
+                d = rec.dep
+                if g.has_edge(d.store_pc, d.load_pc):
+                    data = g[d.store_pc][d.load_pc]
+                else:
+                    g.add_edge(d.store_pc, d.load_pc, count=0, inter=0,
+                               intra=0)
+                    data = g[d.store_pc][d.load_pc]
+                data["count"] += 1
+                data["inter" if d.inter_thread else "intra"] += 1
+    return g
+
+
+def sequence_graph(runs, filter_stack=True):
+    """First-order transition graph between dependences.
+
+    Nodes are :class:`~repro.trace.raw.RawDep`; an edge ``a -> b`` with
+    weight ``count`` means ``b`` immediately followed ``a`` in some
+    thread's stream ``count`` times.
+    """
+    g = nx.DiGraph()
+    for run in runs:
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            deps = [rec.dep for rec in stream]
+            for a, b in zip(deps, deps[1:]):
+                if g.has_edge(a, b):
+                    g[a][b]["count"] += 1
+                else:
+                    g.add_edge(a, b, count=1)
+    return g
+
+
+def window_space_size(runs, seq_len, filter_stack=True):
+    """Number of distinct length-``seq_len`` windows the runs contain.
+
+    This is what the network actually has to memorise; compare it with
+    :func:`path_budget` to see how much the transition structure prunes
+    the combinatorial space.
+    """
+    from repro.trace.raw import dep_sequences
+
+    windows = set()
+    for run in runs:
+        for stream in extract_raw_deps(run, filter_stack=filter_stack).values():
+            windows.update(dep_sequences(stream, seq_len))
+    return len(windows)
+
+
+def path_budget(g, seq_len):
+    """Upper bound on distinct windows implied by the sequence graph:
+    the number of walks of length ``seq_len - 1``.
+
+    Computed by dynamic programming over edge counts (walks, so cycles
+    count repeatedly). A small ratio of actual windows to this budget
+    means the program's communication is strongly history-dependent --
+    long sequences carry real information for the classifier.
+    """
+    if seq_len <= 1:
+        return g.number_of_nodes()
+    walks = {node: 1 for node in g.nodes}
+    for _ in range(seq_len - 1):
+        nxt = {}
+        for node in g.nodes:
+            nxt[node] = sum(walks[succ] for succ in g.successors(node))
+        walks = nxt
+    return sum(walks.values())
+
+
+def hot_dependences(g, k=5):
+    """The ``k`` highest-traffic communication edges, with counts."""
+    edges = sorted(g.edges(data=True), key=lambda e: -e[2]["count"])
+    return [((s, l), data["count"]) for s, l, data in edges[:k]]

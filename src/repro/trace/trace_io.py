@@ -1,0 +1,61 @@
+"""Trace serialisation (JSON-lines).
+
+Traces are written one event per line so very long runs can be streamed.
+The first line is a header record with run-level metadata.
+"""
+
+import json
+
+from repro.common.errors import TraceError
+from repro.trace.events import EventKind, TraceEvent, TraceRun
+
+_FORMAT_VERSION = 1
+
+
+def write_trace(run, path):
+    """Write a :class:`TraceRun` to ``path`` as JSON-lines."""
+    with open(path, "w", encoding="utf-8") as f:
+        header = {
+            "version": _FORMAT_VERSION,
+            "failed": run.failed,
+            "n_threads": run.n_threads,
+            "seed": run.seed,
+            "failure": str(run.failure) if run.failure else None,
+        }
+        f.write(json.dumps(header) + "\n")
+        for e in run.events:
+            rec = [e.tid, e.pc, e.kind.value]
+            if e.kind.is_memory():
+                rec.append(e.addr)
+                if e.is_stack:
+                    rec.append(1)
+            elif e.kind == EventKind.BRANCH:
+                rec.append(1 if e.taken else 0)
+            f.write(json.dumps(rec) + "\n")
+
+
+def read_trace(path):
+    """Read a trace written by :func:`write_trace`."""
+    with open(path, "r", encoding="utf-8") as f:
+        header_line = f.readline()
+        if not header_line:
+            raise TraceError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceError(f"{path}: unsupported trace version")
+        events = []
+        for line in f:
+            rec = json.loads(line)
+            tid, pc, kind_str = rec[0], rec[1], rec[2]
+            kind = EventKind(kind_str)
+            if kind.is_memory():
+                addr = rec[3]
+                is_stack = len(rec) > 4 and bool(rec[4])
+                events.append(TraceEvent(tid, pc, kind, addr=addr,
+                                         is_stack=is_stack))
+            elif kind == EventKind.BRANCH:
+                events.append(TraceEvent(tid, pc, kind, taken=bool(rec[3])))
+            else:
+                events.append(TraceEvent(tid, pc, kind))
+    return TraceRun(events=events, failed=header["failed"],
+                    n_threads=header["n_threads"], seed=header["seed"])

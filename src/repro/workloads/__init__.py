@@ -1,0 +1,39 @@
+"""Workloads: a mini concurrent-program framework plus kernels and bugs.
+
+Programs are written as generator threads that yield typed operations
+(loads, stores, branches, ALU ops, synchronisation). A seeded scheduler
+interleaves them, producing :class:`~repro.trace.events.TraceRun` objects
+-- the same artifact the paper collects with PIN, but with controllable,
+reproducible interleaving so concurrency bugs can be injected and
+triggered deterministically.
+"""
+
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+    Scheduler,
+    ThreadCtx,
+    run_program,
+)
+from repro.workloads.registry import (
+    all_bug_names,
+    all_kernel_names,
+    get_bug,
+    get_kernel,
+)
+
+__all__ = [
+    "AddressSpace",
+    "CodeMap",
+    "Program",
+    "ProgramInstance",
+    "Scheduler",
+    "ThreadCtx",
+    "run_program",
+    "all_bug_names",
+    "all_kernel_names",
+    "get_bug",
+    "get_kernel",
+]

@@ -1,0 +1,41 @@
+"""The paper's bug suite (Table V real bugs; Table VI uses kernel
+``inject`` parameters).
+
+Every bug Program takes ``buggy: bool``:
+
+- ``buggy=False``: the *correct* program (proper synchronisation /
+  benign input). Used for offline training and pruning runs.
+- ``buggy=True``: the failure execution -- the buggy interleaving is
+  forced deterministically (concurrency bugs) or the failure-triggering
+  input is supplied (sequential bugs), and the run ends in a
+  :class:`~repro.common.errors.SimulatedFailure`.
+
+Each built instance tags its ground-truth ``root_cause`` dependence
+keys so the evaluation can score diagnosis ranks.
+"""
+
+from repro.workloads.bugs import (  # noqa: F401
+    aget,
+    apache,
+    gzip_bug,
+    memcached,
+    mysql1,
+    mysql2,
+    mysql3,
+    paste,
+    pbzip2,
+    ptx,
+    seq_bug,
+)
+
+from repro.workloads.bugs.aget import AgetBug  # noqa: F401
+from repro.workloads.bugs.apache import ApacheBug  # noqa: F401
+from repro.workloads.bugs.gzip_bug import GzipBug  # noqa: F401
+from repro.workloads.bugs.memcached import MemcachedBug  # noqa: F401
+from repro.workloads.bugs.mysql1 import MySQL1Bug  # noqa: F401
+from repro.workloads.bugs.mysql2 import MySQL2Bug  # noqa: F401
+from repro.workloads.bugs.mysql3 import MySQL3Bug  # noqa: F401
+from repro.workloads.bugs.paste import PasteBug  # noqa: F401
+from repro.workloads.bugs.pbzip2 import PBzip2Bug  # noqa: F401
+from repro.workloads.bugs.ptx import PtxBug  # noqa: F401
+from repro.workloads.bugs.seq_bug import SeqBug  # noqa: F401

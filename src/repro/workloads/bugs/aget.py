@@ -1,0 +1,90 @@
+"""Aget: order violation on ``bwritten`` (completion-style failure).
+
+The real bug: Aget's SIGINT handler saves download state, reading the
+shared byte counter ``bwritten`` *before* the downloader thread has
+written its final value -- an order violation. The saved state is stale,
+so a resumed download is corrupt; the program otherwise completes.
+
+Correct runs: the saver waits for the downloader's completion signal.
+Buggy run: the save is forced between a mid-loop counter update and the
+final one, so the saver's load reads the mid-loop store.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class AgetBug(Program):
+    name = "aget"
+
+    def default_params(self):
+        return {"buggy": False, "chunks": 12, "save_at": 7}
+
+    def build(self, buggy=False, chunks=12, save_at=7):
+        cm = CodeMap()
+        mem = AddressSpace()
+        bwritten = mem.var("bwritten")
+        saved = mem.var("saved_state")
+        buf = mem.array("recvbuf", 4)
+
+        s_init = cm.store("init_bwritten", function="main")
+        s_buf = cm.store("recv_chunk", function="http_get")
+        l_buf = cm.load("read_chunk", function="http_get")
+        s_upd = cm.store("update_bwritten", function="http_get")
+        s_fin = cm.store("final_bwritten", function="http_get")
+        l_save = cm.load("save_load_bwritten", function="save_log")
+        s_save = cm.store("save_store_state", function="save_log")
+        l_chk = cm.load("verify_load_state", function="main")
+        s_hdr = cm.store("save_write_header", function="save_log")
+        l_hdr = cm.load("save_read_header", function="save_log")
+        hdr = mem.array("log_header", 6)
+
+        root = {(s_upd, l_save)}
+
+        def downloader(ctx):
+            yield ctx.store(s_init, bwritten, value=0)
+            yield ctx.set_flag("started")
+            for i in range(chunks):
+                yield ctx.store(s_buf, buf + 4 * (i % 4), value=i)
+                yield ctx.load(l_buf, buf + 4 * (i % 4))
+                yield ctx.store(s_upd, bwritten, value=i + 1)
+                if buggy and i == save_at:
+                    # The signal arrives here: let the saver run before
+                    # the final counter update.
+                    yield ctx.set_flag("sigint")
+                    yield ctx.wait("saved")
+            yield ctx.store(s_fin, bwritten, value=chunks)
+            yield ctx.set_flag("download_done")
+            yield ctx.wait("save_done")
+            v = yield ctx.load(l_chk, saved)
+            if v != chunks:
+                raise SimulatedFailure("aget: saved state is stale "
+                                       f"({v} != {chunks})", pc=l_chk)
+
+        def saver(ctx):
+            if buggy:
+                yield ctx.wait("sigint")
+            else:
+                yield ctx.wait("download_done")
+            # Write and re-read the log header before sampling the
+            # counter (gives the saver thread its own dependence
+            # history, as the real save_log routine has).
+            for k in range(6):
+                yield ctx.store(s_hdr, hdr + 4 * k, value=k)
+                yield ctx.load(l_hdr, hdr + 4 * k)
+            v = yield ctx.load(l_save, bwritten)
+            yield ctx.store(s_save, saved, value=v)
+            if buggy:
+                yield ctx.set_flag("saved")
+            yield ctx.set_flag("save_done")
+
+        inst = ProgramInstance(self.name, cm, [downloader, saver])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,104 @@
+"""Apache: atomicity violation on a reference counter (crash).
+
+Two request-handler threads decrement a shared reference count and the
+thread that drops it to zero frees the object. Correctly the
+load-decrement-store (and the conditional free) is atomic under a
+mutex. In the buggy interleaving both threads load the same count, both
+believe they are the last user, and both free: the second freer's
+pre-free load of the object header reads the *other thread's free
+store* -- the invalid inter-thread dependence -- and the run crashes.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class ApacheBug(Program):
+    name = "apache"
+
+    def default_params(self):
+        return {"buggy": False, "requests": 6}
+
+    def build(self, buggy=False, requests=6):
+        cm = CodeMap()
+        mem = AddressSpace()
+        refcnt = mem.var("refcnt")
+        obj = mem.var("obj_header")
+        payload = mem.array("payload", 4)
+
+        s_alloc = cm.store("alloc_obj", function="main")
+        s_ref0 = cm.store("init_refcnt", function="main")
+        s_pay = cm.store("fill_payload", function="main")
+        l_pay = cm.load("handler_read_payload", function="handler")
+        l_ref = cm.load("dec_load_refcnt", function="handler")
+        s_ref = cm.store("dec_store_refcnt", function="handler")
+        br_last = cm.branch("is_last_user", function="handler")
+        l_obj = cm.load("free_load_header", function="handler")
+        s_free = cm.store("free_store_header", function="handler")
+
+        root = {(s_free, l_obj)}
+
+        def main(ctx):
+            for r in range(requests):
+                yield ctx.store(s_alloc, obj, value=1)
+                for w in range(4):
+                    yield ctx.store(s_pay, payload + 4 * w, value=r)
+                yield ctx.store(s_ref0, refcnt, value=2)
+                yield ctx.set_flag(f"req{r}")
+                yield ctx.wait(f"done{r}.0")
+                yield ctx.wait(f"done{r}.1")
+
+        def handler_for(hid):
+            def handler(ctx):
+                for r in range(requests):
+                    yield ctx.wait(f"req{r}")
+                    yield ctx.load(l_pay, payload + 4 * hid)
+                    force_race = buggy and r == requests - 1
+                    if not buggy:
+                        yield ctx.acquire("refmutex")
+                    if force_race:
+                        # Both handlers load the count before either
+                        # stores: the classic atomicity violation.
+                        if hid == 0:
+                            v = yield ctx.load(l_ref, refcnt)
+                            yield ctx.set_flag(f"loaded{r}")
+                            yield ctx.wait(f"peer_loaded{r}")
+                        else:
+                            yield ctx.wait(f"loaded{r}")
+                            v = yield ctx.load(l_ref, refcnt)
+                            yield ctx.set_flag(f"peer_loaded{r}")
+                    else:
+                        v = yield ctx.load(l_ref, refcnt)
+                    # Both see v == 2 in the race, so both store 1 and
+                    # both take the "last user" free path below once the
+                    # *other* decrement lands.
+                    yield ctx.store(s_ref, refcnt, value=v - 1)
+                    if not buggy:
+                        yield ctx.release("refmutex")
+                    last = (v - 1 == 0) or force_race
+                    yield ctx.branch(br_last, last)
+                    if last:
+                        if force_race and hid == 1:
+                            yield ctx.wait(f"freed{r}")
+                        hv = yield ctx.load(l_obj, obj)
+                        if hv == 0:
+                            raise SimulatedFailure(
+                                "apache: double free of request object",
+                                pc=l_obj)
+                        yield ctx.store(s_free, obj, value=0)
+                        if force_race and hid == 0:
+                            yield ctx.set_flag(f"freed{r}")
+                    yield ctx.set_flag(f"done{r}.{hid}")
+            return handler
+
+        inst = ProgramInstance(self.name, cm,
+                               [main, handler_for(0), handler_for(1)])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,96 @@
+"""Gzip: semantic bug on the stdin file descriptor (Figure 2(d)).
+
+``ifd`` is initialised to 0 (S1). For each input name, ``-`` means
+"process stdin" and calls ``get_method(ifd)`` (its load is L2); a
+normal name opens the file (S3 stores the descriptor) and calls
+``get_method(ifd)`` (L4). When ``-`` appears *after* a normal file,
+L2 reads the descriptor stored by S3 instead of S1's zero -- the
+invalid dependence (S3 -> L2) -- and stdin is silently not processed.
+The program completes; the failure is the wrong output.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class GzipBug(Program):
+    name = "gzip"
+
+    def default_params(self):
+        return {"buggy": False, "n_files": 5, "input_seed": 0}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, buggy=False, n_files=5, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        ifd = mem.var("ifd")
+        window = mem.array("window", 4)
+        errvar = mem.var("exit_code")
+
+        s1 = cm.store("S1_init_ifd", function="main")
+        br_dash = cm.branch("is_dash", function="main")
+        l2 = cm.load("S2_get_method_stdin", function="get_method")
+        s3 = cm.store("S3_open_input_file", function="main")
+        l4 = cm.load("S4_get_method_file", function="get_method")
+        s_win = cm.store("deflate_store_window", function="deflate")
+        l_win = cm.load("deflate_load_window", function="deflate")
+        s_err = cm.store("set_exit_code", function="main")
+        l_err = cm.load("check_exit_code", function="main")
+        s_opt = cm.store("parse_option_store", function="main")
+        l_opt = cm.load("parse_option_load", function="main")
+        optbuf = mem.array("options", 5)
+
+        root = {(s3, l2)}
+
+        # Input layout: training inputs either start with '-' or contain
+        # no '-'; the failure input has '-' in the middle.
+        if buggy:
+            dash_pos = n_files // 2
+        else:
+            rng = make_rng(input_seed, stream=0x621)
+            dash_pos = 0 if rng.random() < 0.5 else None
+        names = ["-" if i == dash_pos else f"f{i}" for i in range(n_files)]
+
+        def body(ctx):
+            yield ctx.store(s1, ifd, value=0)
+            # Option parsing: builds the per-run dependence history the
+            # real main() has before its file loop.
+            for k in range(5):
+                yield ctx.store(s_opt, optbuf + 4 * k, value=k)
+                yield ctx.load(l_opt, optbuf + 4 * k)
+            stdin_broken = False
+            fd = 2
+            for name in names:
+                is_dash = name == "-"
+                yield ctx.branch(br_dash, is_dash)
+                if is_dash:
+                    v = yield ctx.load(l2, ifd)
+                    if v != 0:
+                        stdin_broken = True
+                else:
+                    fd += 1
+                    yield ctx.store(s3, ifd, value=fd)
+                    yield ctx.load(l4, ifd)
+                # deflate body: a little window activity per input.
+                for w in range(2):
+                    yield ctx.store(s_win, window + 4 * w, value=fd)
+                    yield ctx.load(l_win, window + 4 * w)
+            yield ctx.store(s_err, errvar, value=1 if stdin_broken else 0)
+            rc = yield ctx.load(l_err, errvar)
+            if rc:
+                raise SimulatedFailure(
+                    "gzip: stdin processed with wrong descriptor", pc=l2)
+
+        inst = ProgramInstance(self.name, cm, [body])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,104 @@
+"""Memcached: atomicity violation on item data (silent corruption).
+
+An updater thread rewrites an item's two fields; a getter reads both.
+Correctly the pair of stores (and the pair of loads) is atomic under
+the cache lock. In the buggy interleaving the getter runs between the
+two stores of the *first* update, so its second load still reads the
+item's initialisation store while its first load already sees the
+update -- a torn read. The run completes; a final consistency check
+raises the (completion-style) failure.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class MemcachedBug(Program):
+    name = "memcached"
+
+    def default_params(self):
+        return {"buggy": False, "gets": 8}
+
+    def build(self, buggy=False, gets=8):
+        cm = CodeMap()
+        mem = AddressSpace()
+        f1 = mem.var("item_flags")
+        f2 = mem.var("item_data")
+        sink = mem.var("response")
+
+        s_init1 = cm.store("init_flags", function="item_alloc")
+        s_init2 = cm.store("init_data", function="item_alloc")
+        s_upd1 = cm.store("update_flags", function="process_update")
+        s_upd2 = cm.store("update_data", function="process_update")
+        l_get1 = cm.load("get_load_flags", function="process_get")
+        l_get2 = cm.load("get_load_data", function="process_get")
+        s_resp = cm.store("store_response", function="process_get")
+        l_resp = cm.load("verify_response", function="main")
+        s_conn = cm.store("conn_write_state", function="conn_new")
+        l_conn = cm.load("conn_read_state", function="conn_new")
+        conn = mem.array("conn_state", 6)
+
+        root = {(s_init2, l_get2)}
+
+        def updater(ctx):
+            yield ctx.store(s_init1, f1, value=0)
+            yield ctx.store(s_init2, f2, value=0)
+            yield ctx.set_flag("item_ready")
+            if buggy:
+                yield ctx.wait("warm_gets_done")
+            for v in range(1, 4):
+                race = buggy and v == 1
+                if not race:
+                    yield ctx.acquire("cache_lock")
+                yield ctx.store(s_upd1, f1, value=v)
+                if race:
+                    # The getter sneaks in between the two stores.
+                    yield ctx.set_flag("torn")
+                    yield ctx.wait("got")
+                yield ctx.store(s_upd2, f2, value=v)
+                if not race:
+                    yield ctx.release("cache_lock")
+            yield ctx.set_flag("updates_done")
+
+        def getter(ctx):
+            yield ctx.wait("item_ready")
+            # Connection setup: the getter's own state machine touches
+            # its connection object before serving gets.
+            for k in range(6):
+                yield ctx.store(s_conn, conn + 4 * k, value=k)
+                yield ctx.load(l_conn, conn + 4 * k)
+            torn_value = None
+            torn_at = 2
+            for g in range(gets):
+                race = buggy and g == torn_at
+                if buggy and g == torn_at:
+                    yield ctx.wait("torn")
+                elif buggy and g == torn_at + 1:
+                    yield ctx.wait("updates_done")
+                if not race:
+                    yield ctx.acquire("cache_lock")
+                a = yield ctx.load(l_get1, f1)
+                b = yield ctx.load(l_get2, f2)
+                if not race:
+                    yield ctx.release("cache_lock")
+                yield ctx.store(s_resp, sink, value=(a, b))
+                if race:
+                    torn_value = (a, b)
+                    yield ctx.set_flag("got")
+                if buggy and g == torn_at - 1:
+                    yield ctx.set_flag("warm_gets_done")
+            v = yield ctx.load(l_resp, sink)
+            if torn_value is not None and torn_value[0] != torn_value[1]:
+                raise SimulatedFailure(
+                    f"memcached: torn item read {torn_value}", pc=l_resp)
+
+        inst = ProgramInstance(self.name, cm, [updater, getter])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,113 @@
+"""MySQL#1: atomicity violation causing loss of logged data (completion).
+
+A binlog writer reserves a buffer position and then writes the entry;
+a rotator thread may reset the buffer in between, so the writer's
+position load observes the rotator's reset store and the entry is lost.
+The server keeps running: after the race a long recovery scan executes
+code the network never saw, flooding the Debug Buffer with
+predicted-invalid (but benign) dependences. By the time the data loss
+is detected, the root-cause entry has been overwritten -- this is the
+paper's case where the default 60-entry buffer is insufficient and
+diagnosis needs a larger one.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class MySQL1Bug(Program):
+    name = "mysql1"
+
+    def default_params(self):
+        # scan_len=60 recovery records -> ~65 predicted-invalid entries,
+        # just enough to overwrite the root cause in the default
+        # 60-entry Debug Buffer (the paper's MySQL#1 observation).
+        return {"buggy": False, "entries": 8, "scan_len": 60}
+
+    def build(self, buggy=False, entries=8, scan_len=60):
+        cm = CodeMap()
+        mem = AddressSpace()
+        pos = mem.var("binlog_pos")
+        logbuf = mem.array("binlog", entries + 2)
+        scanbuf = mem.array("recovery_area", 8)
+        lost = mem.var("lost_counter")
+
+        s_pos0 = cm.store("init_pos", function="binlog_init")
+        l_pos = cm.load("writer_load_pos", function="binlog_write")
+        s_entry = cm.store("writer_store_entry", function="binlog_write")
+        s_adv = cm.store("writer_advance_pos", function="binlog_write")
+        s_reset = cm.store("rotator_reset_pos", function="binlog_rotate")
+        s_fill = cm.store("recovery_fill", function="binlog_init")
+        l_scan = cm.load("recovery_scan_load", function="recovery_scan")
+        s_scan = cm.store("recovery_scan_store", function="recovery_scan")
+        l_lost = cm.load("verify_load_lost", function="main")
+        s_lost = cm.store("verify_store_lost", function="recovery_scan")
+
+        root = {(s_reset, l_pos)}
+
+        def writer(ctx):
+            yield ctx.store(s_pos0, pos, value=0)
+            # Recovery area is written once at startup; its scan loop
+            # only ever runs after the race, so its dependences are
+            # never in the training traces.
+            for w in range(8):
+                yield ctx.store(s_fill, scanbuf + 4 * w, value=w)
+            yield ctx.set_flag("log_ready")
+            for e in range(entries):
+                race = buggy and e == entries // 2
+                if not buggy:
+                    yield ctx.acquire("log_lock")
+                if race:
+                    yield ctx.set_flag("mid_write")
+                    yield ctx.wait("rotated")
+                p = yield ctx.load(l_pos, pos)
+                yield ctx.store(s_entry, logbuf + 4 * (p % (entries + 2)),
+                                value=e)
+                yield ctx.store(s_adv, pos, value=(p or 0) + 1)
+                if not buggy:
+                    yield ctx.release("log_lock")
+            yield ctx.set_flag("writes_done")
+            if buggy:
+                # Post-race recovery: replays the write path, but each
+                # replayed record first checkpoints the cursor with the
+                # recovery store -- so the position accessor keeps
+                # observing a writer it was never trained with. The
+                # replay's other dependences are ordinary trained ones,
+                # which keeps every window's prefix familiar and the
+                # final dependence anomalous: a steady stream of
+                # predicted-invalid (but benign) entries that floods
+                # the Debug Buffer long before the loss is detected.
+                for k in range(scan_len):
+                    for step in range(4):
+                        yield ctx.store(s_adv, pos, value=k + step)
+                        yield ctx.load(l_pos, pos)
+                    yield ctx.store(s_scan, pos, value=k)
+                    yield ctx.load(l_pos, pos)
+                yield ctx.store(s_lost, lost, value=1)
+            v = yield ctx.load(l_lost, lost)
+            if v:
+                raise SimulatedFailure("mysql1: binlog entries lost",
+                                       pc=l_lost)
+
+        def rotator(ctx):
+            yield ctx.wait("log_ready")
+            if buggy:
+                yield ctx.wait("mid_write")
+                yield ctx.store(s_reset, pos, value=0)
+                yield ctx.set_flag("rotated")
+            else:
+                yield ctx.wait("writes_done")
+                yield ctx.acquire("log_lock")
+                yield ctx.store(s_reset, pos, value=0)
+                yield ctx.release("log_lock")
+
+        inst = ProgramInstance(self.name, cm, [writer, rotator])
+        inst.root_cause = root
+        return inst

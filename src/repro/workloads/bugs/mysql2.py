@@ -1,0 +1,102 @@
+"""MySQL#2: atomicity violation on ``thd->proc_info`` (crash).
+
+One thread publishes a status string pointer and later clears it to
+NULL; a monitor thread checks the pointer and then dereferences it.
+Without the lock the clear can land between check and use, so the use
+loads the NULL store -- the invalid dependence -- and the server
+crashes. (This is the same shape as the paper's Figure 2(c).)
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class MySQL2Bug(Program):
+    name = "mysql2"
+
+    def default_params(self):
+        return {"buggy": False, "queries": 8}
+
+    def build(self, buggy=False, queries=8):
+        cm = CodeMap()
+        mem = AddressSpace()
+        proc_info = mem.var("proc_info")
+        strbuf = mem.var("status_string")
+
+        s_str = cm.store("write_status_string", function="worker")
+        s_set = cm.store("set_proc_info", function="worker")
+        s_null = cm.store("clear_proc_info", function="worker")
+        l_chk = cm.load("monitor_check", function="monitor")
+        br_chk = cm.branch("monitor_branch", function="monitor")
+        l_use = cm.load("monitor_deref", function="monitor")
+        a_fmt = cm.alu("format_row", function="monitor")
+        s_work = cm.store("query_write_row", function="worker")
+        l_work = cm.load("query_read_row", function="worker")
+        rowbuf = mem.array("sort_buffer", 4)
+
+        root = {(s_null, l_use)}
+
+        def worker(ctx):
+            for q in range(queries):
+                race = buggy and q == queries - 1
+                # The buggy build omits the lock only on the racing
+                # query; earlier iterations happen to interleave safely
+                # (the failure execution is one specific unlucky run).
+                if not race:
+                    yield ctx.acquire("thd_lock")
+                yield ctx.store(s_str, strbuf, value=q)
+                yield ctx.store(s_set, proc_info, value=strbuf)
+                if not race:
+                    yield ctx.release("thd_lock")
+                # The query body: proc_info stays published while the
+                # worker sorts, so monitors routinely take the deref
+                # path during correct executions.
+                for w in range(4):
+                    yield ctx.store(s_work, rowbuf + 4 * w, value=q)
+                    yield ctx.load(l_work, rowbuf + 4 * w)
+                if race:
+                    yield ctx.set_flag("query_running")
+                    yield ctx.wait("monitor_checked")
+                if not race:
+                    yield ctx.acquire("thd_lock")
+                yield ctx.store(s_null, proc_info, value=0)
+                if not race:
+                    yield ctx.release("thd_lock")
+                if race:
+                    yield ctx.set_flag("cleared")
+            yield ctx.set_flag("worker_done")
+
+        def monitor(ctx):
+            polls = queries
+            for p in range(polls):
+                race = buggy and p == polls - 1
+                if race:
+                    yield ctx.wait("query_running")
+                if not race:
+                    yield ctx.acquire("thd_lock")
+                v = yield ctx.load(l_chk, proc_info)
+                yield ctx.branch(br_chk, bool(v))
+                if v:
+                    if race:
+                        yield ctx.set_flag("monitor_checked")
+                        yield ctx.wait("cleared")
+                    pv = yield ctx.load(l_use, proc_info)
+                    if not pv:
+                        raise SimulatedFailure(
+                            "mysql2: NULL proc_info dereference", pc=l_use)
+                    yield ctx.alu(a_fmt)
+                elif race:
+                    yield ctx.set_flag("monitor_checked")
+                if not race:
+                    yield ctx.release("thd_lock")
+
+        inst = ProgramInstance(self.name, cm, [worker, monitor])
+        inst.root_cause = root
+        return inst

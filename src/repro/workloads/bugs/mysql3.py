@@ -1,0 +1,98 @@
+"""MySQL#3: atomicity violation in ``join_init_cache`` (out-of-bound
+loop, crash).
+
+A producer fills a join cache and bumps ``cache->used``; a consumer
+reads ``used`` and walks the cache. In the buggy interleaving the
+consumer reads a *reserved* (too large) ``used`` that the producer
+stored before actually filling the slots, so the walk runs past the
+filled region and its load hits the word after the cache -- last
+written by an unrelated instruction. That wild dependence is the root
+cause, and the dereference crashes.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class MySQL3Bug(Program):
+    name = "mysql3"
+
+    def default_params(self):
+        return {"buggy": False, "rows": 6}
+
+    def build(self, buggy=False, rows=6):
+        cm = CodeMap()
+        mem = AddressSpace()
+        used = mem.var("cache_used")
+        cache = mem.array("join_cache", rows)
+        guard = mem.var("next_alloc", packed=True)  # the word right after the cache
+
+        s_guard = cm.store("init_next_alloc", function="main")
+        s_used0 = cm.store("init_used", function="join_init_cache")
+        s_row = cm.store("producer_store_row", function="join_init_cache")
+        s_used = cm.store("producer_store_used", function="join_init_cache")
+        s_resv = cm.store("producer_reserve_used", function="join_init_cache")
+        l_used = cm.load("consumer_load_used", function="join_read_cache")
+        l_row = cm.load("consumer_load_row", function="join_read_cache")
+        br_row = cm.branch("consumer_row_loop", function="join_read_cache")
+        s_tab = cm.store("init_join_tab", function="join_read_cache")
+        l_tab = cm.load("load_join_tab", function="join_read_cache")
+        jtab = mem.array("join_tab", 6)
+
+        # Both the reserved-count read and the resulting wild row read
+        # are acceptable root-cause reports for this bug.
+        root = {(s_guard, l_row), (s_resv, l_used)}
+
+        def producer(ctx):
+            yield ctx.store(s_guard, guard, value=0xDEAD)
+            yield ctx.store(s_used0, used, value=0)
+            yield ctx.set_flag("cache_ready")
+            if not buggy:
+                yield ctx.acquire("cache_lock")
+            for r in range(rows):
+                yield ctx.store(s_row, cache + 4 * r, value=r)
+                yield ctx.store(s_used, used, value=r + 1)
+            if not buggy:
+                yield ctx.release("cache_lock")
+            else:
+                # The buggy path reserves space for a batch it has not
+                # produced yet, then lets the consumer run.
+                yield ctx.store(s_resv, used, value=rows + 1)
+                yield ctx.set_flag("reserved")
+                yield ctx.wait("consumed")
+            yield ctx.set_flag("produced")
+
+        def consumer(ctx):
+            yield ctx.wait("cache_ready")
+            # Set up the join tab descriptor (consumer-local state).
+            for k in range(6):
+                yield ctx.store(s_tab, jtab + 4 * k, value=k)
+                yield ctx.load(l_tab, jtab + 4 * k)
+            if buggy:
+                yield ctx.wait("reserved")
+            else:
+                yield ctx.wait("produced")
+                yield ctx.acquire("cache_lock")
+            n = yield ctx.load(l_used, used)
+            for i in range(n or 0):
+                yield ctx.branch(br_row, True)
+                v = yield ctx.load(l_row, cache + 4 * i)
+                if i >= rows:
+                    raise SimulatedFailure(
+                        f"mysql3: read past join cache (slot {i}, "
+                        f"value {v:#x})", pc=l_row)
+            yield ctx.branch(br_row, False)
+            if not buggy:
+                yield ctx.release("cache_lock")
+            yield ctx.set_flag("consumed")
+
+        inst = ProgramInstance(self.name, cm, [producer, consumer])
+        inst.root_cause = root
+        return inst

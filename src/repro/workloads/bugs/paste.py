@@ -1,0 +1,93 @@
+"""GNU paste: ``collapse_escapes`` reads past the delimiter buffer
+(crash).
+
+The delimiter list is copied while collapsing ``\\x`` escapes; a
+delimiter string that *ends* in a backslash makes the collapse loop
+read one element past the buffer -- the adjacent word written by an
+unrelated store -- and the program crashes there.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+_BS = 92
+_TAB = 9
+
+
+@register_bug
+class PasteBug(Program):
+    name = "paste"
+
+    def default_params(self):
+        return {"buggy": False, "ndelims": 4, "input_seed": 0}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, buggy=False, ndelims=4, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        delims = mem.array("delims", ndelims)
+        after = mem.var("line_buffer_ptr", packed=True)  # word right after delims
+        collapsed = mem.array("collapsed", ndelims)
+        lines = mem.array("lines", 4)
+
+        s_after = cm.store("init_line_buffer", function="main")
+        s_delim = cm.store("store_delim", function="main")
+        l_delim = cm.load("collapse_load_delim", function="collapse_escapes")
+        l_esc = cm.load("collapse_load_escaped", function="collapse_escapes")
+        s_col = cm.store("collapse_store", function="collapse_escapes")
+        br = cm.branch("collapse_is_escape", function="collapse_escapes")
+        l_line = cm.load("paste_load_line", function="main")
+        s_line = cm.store("paste_store_line", function="main")
+
+        root = {(s_after, l_esc)}
+
+        rng = make_rng(input_seed, stream=0x9A5)
+        ds = [_TAB] * ndelims
+        if buggy:
+            ds[ndelims - 1] = _BS  # trailing backslash
+        elif rng.random() < 0.7:
+            # Interior escape (benign): anywhere but the last slot.
+            pos = rng.randrange(ndelims - 1)
+            ds[pos] = _BS
+
+        def body(ctx):
+            yield ctx.store(s_after, after, value=0xCAFE)
+            # Read the input lines before collapsing the delimiters (the
+            # real paste slurps its file arguments first).
+            for k in range(4):
+                yield ctx.store(s_line, lines + 4 * k, value=k)
+                yield ctx.load(l_line, lines + 4 * k)
+            for i, d in enumerate(ds):
+                yield ctx.store(s_delim, delims + 4 * i, value=d)
+            i = 0
+            j = 0
+            while i < ndelims:
+                c = yield ctx.load(l_delim, delims + 4 * i)
+                is_esc = c == _BS
+                yield ctx.branch(br, is_esc)
+                if is_esc:
+                    if i + 1 >= ndelims:
+                        # Reads the word after the buffer and crashes.
+                        v = yield ctx.load(l_esc, after)
+                        raise SimulatedFailure(
+                            f"paste: collapse_escapes read {v:#x} past "
+                            "the delimiter buffer", pc=l_esc)
+                    yield ctx.load(l_esc, delims + 4 * (i + 1))
+                    i += 2
+                else:
+                    i += 1
+                yield ctx.store(s_col, collapsed + 4 * j, value=c)
+                j += 1
+
+        inst = ProgramInstance(self.name, cm, [body])
+        inst.root_cause = root
+        return inst

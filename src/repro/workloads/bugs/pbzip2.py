@@ -1,0 +1,75 @@
+"""PBZip2: order violation between main and consumer threads (crash).
+
+The real bug: main frees the shared ``fifo`` queue after its own loop
+finishes but *before* the consumer threads are done draining it; a
+consumer then dereferences ``fifo->mutex`` inside the freed object.
+Correct runs join the consumers first. The invalid dependence is the
+consumer's queue load reading main's free store.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class PBzip2Bug(Program):
+    name = "pbzip2"
+
+    def default_params(self):
+        return {"buggy": False, "blocks": 6}
+
+    def build(self, buggy=False, blocks=6):
+        cm = CodeMap()
+        mem = AddressSpace()
+        fifo = mem.var("fifo_header")
+        queue = mem.array("fifo_slots", blocks)
+
+        s_fifo = cm.store("alloc_fifo", function="main")
+        s_put = cm.store("queue_put", function="producer")
+        l_hdr = cm.load("consumer_load_fifo", function="consumer")
+        l_get = cm.load("queue_get", function="consumer")
+        a_dec = cm.alu("decompress_block", function="consumer")
+        s_free = cm.store("free_fifo", function="main")
+
+        root = {(s_free, l_hdr)}
+
+        def main(ctx):
+            yield ctx.store(s_fifo, fifo, value=1)
+            yield ctx.set_flag("fifo_ready")
+            for b in range(blocks):
+                yield ctx.store(s_put, queue + 4 * b, value=b + 1)
+                yield ctx.set_flag(f"block{b}")
+            if buggy:
+                # Forgets the join: frees while the last block is still
+                # being drained.
+                yield ctx.wait("consumer_draining")
+                yield ctx.store(s_free, fifo, value=0)
+                yield ctx.set_flag("freed")
+            else:
+                yield ctx.wait("consumer_done")
+                yield ctx.store(s_free, fifo, value=0)
+
+        def consumer(ctx):
+            yield ctx.wait("fifo_ready")
+            for b in range(blocks):
+                yield ctx.wait(f"block{b}")
+                if buggy and b == blocks - 1:
+                    yield ctx.set_flag("consumer_draining")
+                    yield ctx.wait("freed")
+                h = yield ctx.load(l_hdr, fifo)
+                if not h:
+                    raise SimulatedFailure(
+                        "pbzip2: use of freed fifo", pc=l_hdr)
+                yield ctx.load(l_get, queue + 4 * b)
+                yield ctx.alu(a_dec)
+            yield ctx.set_flag("consumer_done")
+
+        inst = ProgramInstance(self.name, cm, [main, consumer])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,104 @@
+"""GNU ptx: buffer overflow of ``string`` in ``get_method``-style copy
+(Figure 2(e), completion failure).
+
+S2 initialises the string buffer; the copy loop S3 reads ``*string++``.
+A backslash escape consumes *two* characters, so an odd-length run of
+trailing backslashes jumps the cursor over the NUL terminator and the
+next read lands on the word after the buffer -- last written by an
+unrelated setup store S1. The copy produces garbage but the program
+completes.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+_BS = 92  # backslash
+_CHAR = 97
+
+
+@register_bug
+class PtxBug(Program):
+    name = "ptx"
+
+    def default_params(self):
+        return {"buggy": False, "length": 8, "input_seed": 0}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, buggy=False, length=8, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        string = mem.array("string", length)
+        gap = mem.var("next_heap_word", packed=True)  # sits right after string
+        out = mem.array("copy_out", length + 2)
+        errvar = mem.var("overflow_flag")
+
+        s1 = cm.store("S1_setup_next_alloc", function="setup")
+        s2 = cm.store("S2_init_string", function="inputString")
+        l3 = cm.load("S3_load_char", function="get_method")
+        l3e = cm.load("S3_load_escaped", function="get_method")
+        s_x = cm.store("S3_store_out", function="get_method")
+        br = cm.branch("is_backslash", function="get_method")
+        l_err = cm.load("check_overflow", function="main")
+        s_err = cm.store("set_overflow", function="get_method")
+
+        root = {(s1, l3)}
+
+        # Build the input: characters with backslash runs. Benign inputs
+        # use even-length runs; the failure input ends with an odd run.
+        rng = make_rng(input_seed, stream=0x97C)
+        chars = [_CHAR] * (length - 1)
+        if buggy:
+            run = 3
+            chars[length - 1 - run:length - 1] = [_BS] * run
+        else:
+            if rng.random() < 0.5:
+                pos = rng.randrange(max(1, length - 4))
+                chars[pos:pos + 2] = [_BS, _BS]
+        chars.append(0)  # NUL terminator
+
+        def body(ctx):
+            yield ctx.store(s1, gap, value=0xBEEF)
+            for i, c in enumerate(chars):
+                yield ctx.store(s2, string + 4 * i, value=c)
+            i = 0
+            j = 0
+            overflow = False
+            while True:
+                if i >= length:
+                    # Out-of-bounds read: the word after the buffer.
+                    v = yield ctx.load(l3, gap)
+                    yield ctx.store(s_err, errvar, value=1)
+                    overflow = True
+                    break
+                c = yield ctx.load(l3, string + 4 * i)
+                if c == 0:
+                    break
+                is_bs = c == _BS
+                yield ctx.branch(br, is_bs)
+                if is_bs:
+                    # Escape: also consume the next character.
+                    yield ctx.load(l3e, string + 4 * (i + 1))
+                    i += 2
+                else:
+                    i += 1
+                yield ctx.store(s_x, out + 4 * j, value=c)
+                j += 1
+            if not overflow:
+                yield ctx.store(s_err, errvar, value=0)
+            rc = yield ctx.load(l_err, errvar)
+            if rc:
+                raise SimulatedFailure("ptx: string ran out of bounds",
+                                       pc=l3)
+
+        inst = ProgramInstance(self.name, cm, [body])
+        inst.root_cause = root
+        return inst

@@ -1,0 +1,76 @@
+"""GNU seq: semantic bug -- wrong terminator in ``print_numbers``
+(completion failure).
+
+``print_numbers`` emits a generated number per iteration. With a
+malformed (buggy) step the termination comparison is off by one, so the
+loop runs one extra iteration and its number load reads the word after
+the generated buffer -- a scratch word written by the formatter, never
+a legal source for that load.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_bug
+
+
+@register_bug
+class SeqBug(Program):
+    name = "seq"
+
+    def default_params(self):
+        return {"buggy": False, "count": 6, "input_seed": 0}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, buggy=False, count=6, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        numbuf = mem.array("numbers", count)
+        scratch = mem.var("fmt_scratch", packed=True)  # the word after the buffer
+        sep = mem.var("separator")
+        out = mem.array("stdout", count + 2)
+
+        s_fmt = cm.store("fmt_init_scratch", function="main")
+        s_sep = cm.store("init_separator", function="main")
+        s_gen = cm.store("generate_number", function="print_numbers")
+        l_num = cm.load("load_number", function="print_numbers")
+        l_sep = cm.load("load_separator", function="print_numbers")
+        s_out = cm.store("write_stdout", function="print_numbers")
+        br = cm.branch("loop_terminator", function="print_numbers")
+        l_chk = cm.load("verify_output", function="main")
+
+        root = {(s_fmt, l_num)}
+
+        rng = make_rng(input_seed, stream=0x5E9)
+        n = count if buggy else max(2, count - rng.randrange(3))
+
+        def body(ctx):
+            yield ctx.store(s_fmt, scratch, value=0xF00D)
+            yield ctx.store(s_sep, sep, value=ord("\n"))
+            for i in range(n):
+                yield ctx.store(s_gen, numbuf + 4 * i, value=i)
+            overran = False
+            iters = n + 1 if buggy else n  # off-by-one terminator
+            for i in range(iters):
+                yield ctx.branch(br, True)
+                v = yield ctx.load(l_num, numbuf + 4 * i)
+                if i >= n:
+                    overran = True
+                yield ctx.load(l_sep, sep)
+                yield ctx.store(s_out, out + 4 * i, value=v)
+            yield ctx.branch(br, False)
+            yield ctx.load(l_chk, out)
+            if overran:
+                raise SimulatedFailure(
+                    "seq: printed garbage past the last number", pc=l_num)
+
+        inst = ProgramInstance(self.name, cm, [body])
+        inst.root_cause = root
+        return inst

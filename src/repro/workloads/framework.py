@@ -1,0 +1,398 @@
+"""Mini concurrent-program framework.
+
+This is the substrate the paper gets for free from real binaries + PIN:
+multithreaded programs whose dynamic memory-instruction streams we can
+record. Writing workloads as Python generators gives us something real
+binaries cannot: *deterministic, seed-controlled interleaving*, which is
+what lets the repo trigger the paper's concurrency bugs on demand.
+
+A program thread is a generator function ``body(ctx)`` that yields
+operations built by its :class:`ThreadCtx`:
+
+- ``value = yield ctx.load(pc, addr)`` -- shared load; the scheduler
+  commits the event and sends back the current memory value.
+- ``yield ctx.store(pc, addr, value)`` -- shared store.
+- ``yield ctx.branch(pc, taken)`` / ``yield ctx.alu(pc)``.
+- ``yield ctx.wait(flag)`` / ``yield ctx.set_flag(flag)`` -- one-shot
+  event synchronisation (used by bug programs to force interleavings).
+- ``yield ctx.acquire(lock)`` / ``yield ctx.release(lock)`` -- mutual
+  exclusion.
+
+Memory values live in a scheduler-owned dict keyed by word address, so
+value semantics are exactly sequential consistency in trace order.
+"""
+
+import enum
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ReproError, SimulatedFailure, TraceError
+from repro.common.rng import make_rng
+from repro.trace.events import EventKind, TraceEvent, TraceRun
+
+WORD_SIZE = 4
+
+_PC_BASE = 0x1000
+_STACK_BASE = 0x7FFF_0000
+_STACK_STRIDE = 0x1_0000
+
+
+@dataclass(frozen=True)
+class CodeSite:
+    """Static metadata for one instruction address."""
+
+    pc: int
+    function: str
+    label: str
+    kind: EventKind
+
+
+class CodeMap:
+    """Allocates static instruction addresses and remembers their metadata.
+
+    Workload builders allocate one pc per source location, so RAW
+    dependences are expressed in terms of stable instruction addresses
+    across runs -- the property the paper's invariants rely on.
+    """
+
+    def __init__(self):
+        self._sites: Dict[int, CodeSite] = {}
+        self._by_label: Dict[str, int] = {}
+        self._next_pc = _PC_BASE
+
+    def alloc(self, function, label, kind):
+        """Allocate a pc for instruction ``label`` in ``function``."""
+        key = f"{function}:{label}"
+        if key in self._by_label:
+            raise ReproError(f"duplicate code label {key!r}")
+        pc = self._next_pc
+        self._next_pc += WORD_SIZE
+        self._sites[pc] = CodeSite(pc, function, label, kind)
+        self._by_label[key] = pc
+        return pc
+
+    def load(self, label, function="main"):
+        return self.alloc(function, label, EventKind.LOAD)
+
+    def store(self, label, function="main"):
+        return self.alloc(function, label, EventKind.STORE)
+
+    def branch(self, label, function="main"):
+        return self.alloc(function, label, EventKind.BRANCH)
+
+    def alu(self, label, function="main"):
+        return self.alloc(function, label, EventKind.ALU)
+
+    def site(self, pc):
+        return self._sites[pc]
+
+    def pc_of(self, label, function="main"):
+        return self._by_label[f"{function}:{label}"]
+
+    def function_of(self, pc):
+        return self._sites[pc].function
+
+    def describe(self, pc):
+        s = self._sites.get(pc)
+        if s is None:
+            return f"pc={pc:#x}"
+        return f"{s.function}:{s.label}"
+
+    def pcs_in_function(self, function):
+        return [pc for pc, s in self._sites.items() if s.function == function]
+
+    def __len__(self):
+        return len(self._sites)
+
+
+class AddressSpace:
+    """Allocates data addresses for named variables/arrays.
+
+    Distinct objects are aligned to ``alignment`` bytes by default
+    (like a real allocator's size classes), so false sharing between
+    *different* program objects only appears when the cache-line size
+    exceeds the alignment; sharing within one array is preserved.
+    Pass ``packed=True`` to allocate at the current cursor instead --
+    bug models use it for deliberately adjacent objects (overflow
+    targets).
+    """
+
+    def __init__(self, base=0x10_0000, alignment=64):
+        self._next = base
+        self._alignment = alignment
+        self._vars: Dict[str, int] = {}
+
+    def _alloc(self, name, n_bytes, packed):
+        if name not in self._vars:
+            if not packed and self._alignment > 1:
+                rem = self._next % self._alignment
+                if rem:
+                    self._next += self._alignment - rem
+            self._vars[name] = self._next
+            self._next += n_bytes
+        return self._vars[name]
+
+    def var(self, name, packed=False):
+        """Allocate (or look up) a single-word variable."""
+        return self._alloc(name, WORD_SIZE, packed)
+
+    def array(self, name, n_words, packed=False):
+        """Allocate (or look up) an array of ``n_words`` words; return base."""
+        return self._alloc(name, n_words * WORD_SIZE, packed)
+
+    def align_to(self, boundary):
+        """Round the allocation cursor up to ``boundary`` bytes."""
+        rem = self._next % boundary
+        if rem:
+            self._next += boundary - rem
+
+    def addr_of(self, name):
+        return self._vars[name]
+
+
+class _CtrlKind(enum.Enum):
+    WAIT = "wait"
+    SET = "set"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    YIELD = "yield"
+
+
+@dataclass(frozen=True)
+class _Ctrl:
+    """A scheduler-directed (non-traced) operation yielded by a thread."""
+
+    kind: _CtrlKind
+    name: str = ""
+
+
+class ThreadCtx:
+    """Per-thread handle used by generator bodies to build operations."""
+
+    def __init__(self, tid):
+        self.tid = tid
+
+    def load(self, pc, addr):
+        return TraceEvent(self.tid, pc, EventKind.LOAD, addr=addr)
+
+    def store(self, pc, addr, value=None):
+        # Values ride along out-of-band (the scheduler reads _value).
+        ev = TraceEvent(self.tid, pc, EventKind.STORE, addr=addr)
+        object.__setattr__(ev, "_value", value)
+        return ev
+
+    def stack_load(self, pc, slot=0):
+        addr = _STACK_BASE + self.tid * _STACK_STRIDE + slot * WORD_SIZE
+        return TraceEvent(self.tid, pc, EventKind.LOAD, addr=addr, is_stack=True)
+
+    def stack_store(self, pc, slot=0, value=None):
+        addr = _STACK_BASE + self.tid * _STACK_STRIDE + slot * WORD_SIZE
+        ev = TraceEvent(self.tid, pc, EventKind.STORE, addr=addr, is_stack=True)
+        object.__setattr__(ev, "_value", value)
+        return ev
+
+    def branch(self, pc, taken):
+        return TraceEvent(self.tid, pc, EventKind.BRANCH, taken=bool(taken))
+
+    def alu(self, pc):
+        return TraceEvent(self.tid, pc, EventKind.ALU)
+
+    @staticmethod
+    def wait(flag):
+        """Block until another thread sets ``flag``."""
+        return _Ctrl(_CtrlKind.WAIT, flag)
+
+    @staticmethod
+    def set_flag(flag):
+        return _Ctrl(_CtrlKind.SET, flag)
+
+    @staticmethod
+    def acquire(lock):
+        return _Ctrl(_CtrlKind.ACQUIRE, lock)
+
+    @staticmethod
+    def release(lock):
+        return _Ctrl(_CtrlKind.RELEASE, lock)
+
+    @staticmethod
+    def sched_yield():
+        """Hint the scheduler to switch threads (no trace event)."""
+        return _Ctrl(_CtrlKind.YIELD)
+
+
+@dataclass
+class ProgramInstance:
+    """A built program, ready to run: static code plus thread bodies."""
+
+    name: str
+    code_map: CodeMap
+    bodies: List[Callable]  # body(ctx) -> generator
+    params: dict = field(default_factory=dict)
+    # Ground truth for bug programs: the invalid RAW dependence(s) a
+    # correct diagnosis must surface, as (store_pc, load_pc) pairs.
+    root_cause: Optional[set] = None
+
+    @property
+    def n_threads(self):
+        return len(self.bodies)
+
+
+class Program:
+    """Base class for workloads. Subclasses override :meth:`build`."""
+
+    name = "program"
+
+    def build(self, **params) -> ProgramInstance:
+        raise NotImplementedError
+
+    def default_params(self):
+        return {}
+
+    def params_for_seed(self, seed):
+        """Per-run parameter variation (e.g. input data derived from the
+        run seed). Explicit caller params override these."""
+        return {}
+
+
+class Scheduler:
+    """Seeded interleaving scheduler with quantum bursts.
+
+    Each scheduling decision picks a runnable thread and runs it for a
+    geometric-length burst of operations (mimicking OS quanta), which
+    produces realistic interleavings that still vary run-to-run with the
+    seed.
+    """
+
+    def __init__(self, seed=0, switch_prob=0.15, max_steps=2_000_000):
+        self.seed = seed
+        self.switch_prob = switch_prob
+        self.max_steps = max_steps
+
+    def run(self, instance):
+        """Execute ``instance``; return a :class:`TraceRun`."""
+        # crc32, not hash(): str hashes are salted per process and the
+        # interleaving must be reproducible across runs.
+        rng = make_rng(self.seed,
+                       stream=zlib.crc32(instance.name.encode()) & 0xFFFF)
+        gens = []
+        for tid, body in enumerate(instance.bodies):
+            gens.append(body(ThreadCtx(tid)))
+        alive = set(range(len(gens)))
+        blocked: Dict[int, _Ctrl] = {}
+        flags = set()
+        locks: Dict[str, int] = {}
+        memory: Dict[int, object] = {}
+        events = []
+        failure = None
+        send_values: Dict[int, object] = {tid: None for tid in alive}
+
+        current = 0 if alive else None
+        steps = 0
+        while alive:
+            steps += 1
+            if steps > self.max_steps:
+                raise TraceError(
+                    f"{instance.name}: exceeded {self.max_steps} steps "
+                    "(possible livelock)")
+            runnable = [t for t in sorted(alive)
+                        if self._is_runnable(t, blocked, flags, locks)]
+            if not runnable:
+                raise TraceError(f"{instance.name}: deadlock ({blocked})")
+            if current not in runnable or rng.random() < self.switch_prob:
+                current = rng.choice(runnable)
+            tid = current
+
+            pending = blocked.pop(tid, None)
+            if pending is not None:
+                self._apply_ctrl(tid, pending, flags, locks)
+            try:
+                item = gens[tid].send(send_values[tid])
+            except StopIteration:
+                alive.discard(tid)
+                continue
+            except SimulatedFailure as f:
+                failure = f
+                if failure.tid is None:
+                    failure.tid = tid
+                break
+            send_values[tid] = None
+
+            if isinstance(item, _Ctrl):
+                if item.kind == _CtrlKind.YIELD:
+                    current = None  # force a re-pick next step
+                elif self._ctrl_blocks(item, flags, locks, tid):
+                    blocked[tid] = item
+                else:
+                    self._apply_ctrl(tid, item, flags, locks)
+                continue
+
+            events.append(item)
+            if item.kind == EventKind.LOAD:
+                send_values[tid] = memory.get(item.addr, 0)
+            elif item.kind == EventKind.STORE:
+                memory[item.addr] = getattr(item, "_value", None)
+
+        return TraceRun(
+            events=events,
+            failed=failure is not None,
+            failure=failure,
+            code_map=instance.code_map,
+            n_threads=instance.n_threads,
+            seed=self.seed,
+            meta={"program": instance.name, "steps": steps},
+        )
+
+    @staticmethod
+    def _is_runnable(tid, blocked, flags, locks):
+        ctrl = blocked.get(tid)
+        if ctrl is None:
+            return True
+        if ctrl.kind == _CtrlKind.WAIT:
+            return ctrl.name in flags
+        if ctrl.kind == _CtrlKind.ACQUIRE:
+            return locks.get(ctrl.name) is None
+        return True
+
+    @staticmethod
+    def _ctrl_blocks(ctrl, flags, locks, tid):
+        if ctrl.kind == _CtrlKind.WAIT:
+            return ctrl.name not in flags
+        if ctrl.kind == _CtrlKind.ACQUIRE:
+            holder = locks.get(ctrl.name)
+            return holder is not None and holder != tid
+        return False
+
+    @staticmethod
+    def _apply_ctrl(tid, ctrl, flags, locks):
+        if ctrl.kind == _CtrlKind.SET:
+            flags.add(ctrl.name)
+        elif ctrl.kind == _CtrlKind.ACQUIRE:
+            locks[ctrl.name] = tid
+        elif ctrl.kind == _CtrlKind.RELEASE:
+            if locks.get(ctrl.name) != tid:
+                raise TraceError(f"thread {tid} released lock "
+                                 f"{ctrl.name!r} it does not hold")
+            locks[ctrl.name] = None
+        # WAIT needs no action once the flag is set.
+
+
+def run_program(program, seed=0, scheduler=None, **params):
+    """Build ``program`` with ``params`` and run it under a seeded scheduler."""
+    if isinstance(program, Program):
+        merged = dict(program.default_params())
+        merged.update(program.params_for_seed(seed))
+        merged.update(params)
+        instance = program.build(**merged)
+    elif isinstance(program, ProgramInstance):
+        if params:
+            raise ReproError("cannot re-parameterise a built instance")
+        instance = program
+    else:
+        raise ReproError(f"not a Program: {program!r}")
+    sched = scheduler or Scheduler(seed=seed)
+    if scheduler is None:
+        sched.seed = seed
+    run = sched.run(instance)
+    run.meta["root_cause"] = instance.root_cause
+    return run

@@ -1,0 +1,27 @@
+"""Benchmark kernels.
+
+Synthetic stand-ins for the paper's applications, preserving the
+*communication structure* ACT observes: regular owner-computes loops
+with boundary exchange (SPLASH2), irregular/pipelined sharing (PARSEC),
+and input-dependent sequential patterns (SPEC INT / coreutils).
+
+Importing this package registers every kernel with
+:mod:`repro.workloads.registry`.
+"""
+
+from repro.workloads.kernels import parsec, spec, splash  # noqa: F401
+
+from repro.workloads.kernels.splash import (  # noqa: F401
+    Barnes,
+    FFT,
+    LU,
+    Ocean,
+    Radix,
+)
+from repro.workloads.kernels.parsec import (  # noqa: F401
+    Canneal,
+    Fluidanimate,
+    Streamcluster,
+    Swaptions,
+)
+from repro.workloads.kernels.spec import BC, Bzip2Like, McfLike  # noqa: F401

@@ -1,0 +1,276 @@
+"""PARSEC-style kernels: canneal, fluidanimate, streamcluster, swaptions.
+
+These stress ACT differently from the SPLASH2 set: canneal's sharing is
+irregular (random element pairs), fluidanimate exchanges grid
+boundaries, streamcluster broadcasts centers and reduces costs, and
+swaptions is embarrassingly parallel (``worker`` supports Table VI's
+injected bug).
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_kernel
+from repro.workloads.synclib import barrier
+
+
+@register_kernel
+class Canneal(Program):
+    """Simulated-annealing netlist swaps under a lock.
+
+    Every swap loads two random elements and stores them back swapped;
+    which thread last wrote an element varies run to run, so both
+    intra- and inter-thread dependences occur on the same instructions.
+    """
+
+    name = "canneal"
+
+    def default_params(self):
+        return {"n_threads": 2, "elements": 8, "swaps": 10}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, n_threads=2, elements=8, swaps=10, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        netlist = mem.array("netlist", elements)
+
+        s_init = cm.store("init_elem", function="init")
+        l_a = cm.load("swap_load_a", function="swap_cost")
+        l_b = cm.load("swap_load_b", function="swap_cost")
+        s_a = cm.store("swap_store_a", function="swap_cost")
+        s_b = cm.store("swap_store_b", function="swap_cost")
+        br = cm.branch("accept_swap", function="swap_cost")
+
+        def body_for(tid):
+            rng = make_rng(input_seed, stream=0xCA0 + tid)
+
+            def body(ctx):
+                if tid == 0:
+                    for e in range(elements):
+                        yield ctx.store(s_init, netlist + 4 * e, value=e)
+                yield from barrier(ctx, "init", tid, n_threads, 0)
+                for _ in range(swaps):
+                    i = rng.randrange(elements)
+                    j = rng.randrange(elements)
+                    if i == j:
+                        j = (j + 1) % elements
+                    yield ctx.acquire("netlock")
+                    va = yield ctx.load(l_a, netlist + 4 * i)
+                    vb = yield ctx.load(l_b, netlist + 4 * j)
+                    accept = rng.random() < 0.7
+                    yield ctx.branch(br, accept)
+                    if accept:
+                        yield ctx.store(s_a, netlist + 4 * i, value=vb)
+                        yield ctx.store(s_b, netlist + 4 * j, value=va)
+                    yield ctx.release("netlock")
+            return body
+
+        return ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+
+
+@register_kernel
+class Fluidanimate(Program):
+    """Grid-band particle phases with neighbour boundary exchange.
+
+    ``ComputeDensitiesMT`` reads the neighbouring band's boundary cells
+    (inter-thread) and hosts Table VI's injected bug.
+    """
+
+    name = "fluidanimate"
+
+    def default_params(self):
+        return {"n_threads": 2, "cells": 6, "steps": 2, "inject": False,
+                "new_code": True}
+
+    def build(self, n_threads=2, cells=6, steps=2, inject=False,
+              new_code=True):
+        cm = CodeMap()
+        mem = AddressSpace()
+        grid = [mem.array(f"g{t}", cells) for t in range(n_threads)]
+        dens = [mem.array(f"d{t}", cells) for t in range(n_threads)]
+        ctrl = mem.var("nparticles")
+
+        s_ctrl = cm.store("store_nparticles", function="setup")
+        s_clear = cm.store("clear_cell", function="ClearParticlesMT")
+        s_rebuild = cm.store("rebuild_cell", function="RebuildGridMT")
+        l_own_old = cm.load("dens_load_own", function="ComputeDensitiesMT_v0")
+        l_nbr_old = cm.load("dens_load_neighbour",
+                            function="ComputeDensitiesMT_v0")
+        s_dens_old = cm.store("dens_store", function="ComputeDensitiesMT_v0")
+        l_own_new = cm.load("dens_load_own", function="ComputeDensitiesMT")
+        l_nbr_new = cm.load("dens_load_neighbour",
+                            function="ComputeDensitiesMT")
+        s_dens_new = cm.store("dens_store", function="ComputeDensitiesMT")
+        l_bug = cm.load("dens_stray_load", function="ComputeDensitiesMT")
+        l_own = l_own_new if new_code else l_own_old
+        l_nbr = l_nbr_new if new_code else l_nbr_old
+        s_dens = s_dens_new if new_code else s_dens_old
+        l_dens = cm.load("force_load_dens", function="ComputeForcesMT")
+        s_adv = cm.store("advance_store", function="AdvanceParticlesMT")
+
+        root = {(s_ctrl, l_bug)}
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    yield ctx.store(s_ctrl, ctrl, value=cells * n_threads)
+                yield from barrier(ctx, "setup", tid, n_threads, 0)
+                for step in range(steps):
+                    for c in range(cells):
+                        yield ctx.store(s_clear, grid[tid] + 4 * c, value=0)
+                    yield from barrier(ctx, "clear", tid, n_threads, step)
+                    for c in range(cells):
+                        yield ctx.store(s_rebuild, grid[tid] + 4 * c,
+                                        value=step)
+                    yield from barrier(ctx, "rebuild", tid, n_threads, step)
+                    nbr = (tid + 1) % n_threads
+                    for c in range(cells):
+                        yield ctx.load(l_own, grid[tid] + 4 * c)
+                        if c == 0 or c == cells - 1:
+                            yield ctx.load(l_nbr, grid[nbr] + 4 * c)
+                        yield ctx.store(s_dens, dens[tid] + 4 * c,
+                                        value=step)
+                    if inject and step == steps - 1 and tid == 0:
+                        yield ctx.load(l_bug, ctrl)
+                    yield from barrier(ctx, "dens", tid, n_threads, step)
+                    for c in range(cells):
+                        yield ctx.load(l_dens, dens[tid] + 4 * c)
+                        yield ctx.store(s_adv, grid[tid] + 4 * c,
+                                        value=step + 1)
+                    yield from barrier(ctx, "adv", tid, n_threads, step)
+                if inject and tid == 0:
+                    raise SimulatedFailure("fluidanimate: density blow-up",
+                                           tid=tid)
+            return body
+
+        inst = ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+        inst.root_cause = root if inject else None
+        return inst
+
+
+@register_kernel
+class Streamcluster(Program):
+    """Centre broadcast + per-thread cost accumulation + reduction."""
+
+    name = "streamcluster"
+
+    def default_params(self):
+        return {"n_threads": 2, "points": 6, "centers": 3}
+
+    def build(self, n_threads=2, points=6, centers=3):
+        cm = CodeMap()
+        mem = AddressSpace()
+        centerarr = mem.array("centers", centers)
+        pts = [mem.array(f"p{t}", points) for t in range(n_threads)]
+        costs = mem.array("costs", n_threads)
+
+        s_center = cm.store("store_center", function="pgain")
+        s_pt = cm.store("init_point", function="init")
+        l_center = cm.load("dist_load_center", function="dist")
+        l_pt = cm.load("dist_load_point", function="dist")
+        s_cost = cm.store("store_local_cost", function="dist")
+        l_cost = cm.load("reduce_load_cost", function="pgain")
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    for c in range(centers):
+                        yield ctx.store(s_center, centerarr + 4 * c, value=c)
+                for p in range(points):
+                    yield ctx.store(s_pt, pts[tid] + 4 * p, value=p)
+                yield from barrier(ctx, "open", tid, n_threads, 0)
+                for p in range(points):
+                    yield ctx.load(l_pt, pts[tid] + 4 * p)
+                    for c in range(centers):
+                        yield ctx.load(l_center, centerarr + 4 * c)
+                yield ctx.store(s_cost, costs + 4 * tid, value=tid)
+                yield from barrier(ctx, "cost", tid, n_threads, 0)
+                if tid == 0:
+                    for t in range(n_threads):
+                        yield ctx.load(l_cost, costs + 4 * t)
+            return body
+
+        return ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+
+
+@register_kernel
+class Swaptions(Program):
+    """Embarrassingly parallel Monte-Carlo pricing; ``worker`` is the
+    Table VI injection site."""
+
+    name = "swaptions"
+
+    def default_params(self):
+        return {"n_threads": 2, "per_thread": 2, "sims": 3, "inject": False,
+                "new_code": True}
+
+    def build(self, n_threads=2, per_thread=2, sims=3, inject=False,
+              new_code=True):
+        cm = CodeMap()
+        mem = AddressSpace()
+        params = mem.array("params", n_threads * per_thread)
+        results = mem.array("results", n_threads * per_thread)
+        scratch = [mem.array(f"scr{t}", sims) for t in range(n_threads)]
+        ctrl = mem.var("nswaptions")
+
+        s_ctrl = cm.store("store_count", function="setup")
+        s_param = cm.store("store_param", function="setup")
+        l_param_old = cm.load("worker_load_param", function="worker_v0")
+        s_scr_old = cm.store("worker_store_path", function="worker_v0")
+        l_scr_old = cm.load("worker_load_path", function="worker_v0")
+        s_res_old = cm.store("worker_store_result", function="worker_v0")
+        l_param_new = cm.load("worker_load_param", function="worker")
+        s_scr_new = cm.store("worker_store_path", function="worker")
+        l_scr_new = cm.load("worker_load_path", function="worker")
+        s_res_new = cm.store("worker_store_result", function="worker")
+        l_bug = cm.load("worker_stray_load", function="worker")
+        l_param = l_param_new if new_code else l_param_old
+        s_scr = s_scr_new if new_code else s_scr_old
+        l_scr = l_scr_new if new_code else l_scr_old
+        s_res = s_res_new if new_code else s_res_old
+        l_res = cm.load("collect_load_result", function="collect")
+
+        root = {(s_ctrl, l_bug)}
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    yield ctx.store(s_ctrl, ctrl, value=n_threads * per_thread)
+                    for s in range(n_threads * per_thread):
+                        yield ctx.store(s_param, params + 4 * s, value=s)
+                    yield ctx.set_flag("params_ready")
+                else:
+                    yield ctx.wait("params_ready")
+                for s in range(per_thread):
+                    idx = tid * per_thread + s
+                    yield ctx.load(l_param, params + 4 * idx)
+                    for k in range(sims):
+                        yield ctx.store(s_scr, scratch[tid] + 4 * k,
+                                        value=k)
+                        yield ctx.load(l_scr, scratch[tid] + 4 * k)
+                    yield ctx.store(s_res, results + 4 * idx, value=idx)
+                if inject and tid == n_threads - 1:
+                    yield ctx.load(l_bug, ctrl)
+                yield from barrier(ctx, "done", tid, n_threads, 0)
+                if tid == 0:
+                    for s in range(n_threads * per_thread):
+                        yield ctx.load(l_res, results + 4 * s)
+                if inject and tid == n_threads - 1:
+                    raise SimulatedFailure("swaptions: price out of range",
+                                           tid=tid)
+            return body
+
+        inst = ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+        inst.root_cause = root if inject else None
+        return inst

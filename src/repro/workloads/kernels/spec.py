@@ -1,0 +1,186 @@
+"""Sequential SPEC-INT-style kernels: bzip2-like, mcf-like, bc.
+
+Single-threaded, input-dependent control flow: their RAW patterns vary
+with the input (derived from the run seed), which is what makes their
+Table IV misprediction rates interesting -- ``bc``'s stack-machine
+patterns are the hardest to learn, as in the paper.
+"""
+
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_kernel
+
+
+@register_kernel
+class Bzip2Like(Program):
+    """Run-length encoding pass over a random input buffer."""
+
+    name = "bzip2"
+
+    def default_params(self):
+        return {"length": 40}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, length=40, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        inp = mem.array("input", length)
+        out = mem.array("output", length)
+        run_len = mem.var("run_len")
+
+        s_in = cm.store("init_input", function="init")
+        l_cur = cm.load("rle_load_cur", function="rle")
+        l_run = cm.load("rle_load_runlen", function="rle")
+        s_run = cm.store("rle_store_runlen", function="rle")
+        s_out = cm.store("rle_store_out", function="rle")
+        br = cm.branch("rle_same", function="rle")
+
+        rng = make_rng(input_seed, stream=0xB21)
+        data = [rng.randrange(3) for _ in range(length)]
+
+        def body(ctx):
+            for i in range(length):
+                yield ctx.store(s_in, inp + 4 * i, value=data[i])
+            yield ctx.store(s_run, run_len, value=0)
+            prev = None
+            oi = 0
+            for i in range(length):
+                cur = yield ctx.load(l_cur, inp + 4 * i)
+                same = cur == prev
+                yield ctx.branch(br, same)
+                if same:
+                    r = yield ctx.load(l_run, run_len)
+                    yield ctx.store(s_run, run_len, value=(r or 0) + 1)
+                else:
+                    yield ctx.store(s_out, out + 4 * oi, value=cur)
+                    oi += 1
+                    yield ctx.store(s_run, run_len, value=1)
+                prev = cur
+            yield ctx.load(l_run, run_len)
+
+        return ProgramInstance(self.name, cm, [body])
+
+
+@register_kernel
+class McfLike(Program):
+    """Pointer chasing over a ring of arcs with cost/flow updates."""
+
+    name = "mcf"
+
+    def default_params(self):
+        return {"nodes": 10, "hops": 25}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, nodes=10, hops=25, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        nxt = mem.array("next", nodes)
+        cost = mem.array("cost", nodes)
+        flow = mem.array("flow", nodes)
+
+        s_next = cm.store("init_next", function="init")
+        s_cost = cm.store("init_cost", function="init")
+        s_flow0 = cm.store("init_flow", function="init")
+        l_next = cm.load("chase_load_next", function="refresh")
+        l_cost = cm.load("chase_load_cost", function="refresh")
+        l_flow = cm.load("chase_load_flow", function="refresh")
+        s_flow = cm.store("chase_store_flow", function="refresh")
+
+        rng = make_rng(input_seed, stream=0x3CF)
+        perm = list(range(1, nodes)) + [0]
+        rng.shuffle(perm)
+
+        def body(ctx):
+            for n in range(nodes):
+                yield ctx.store(s_next, nxt + 4 * n, value=perm[n])
+                yield ctx.store(s_cost, cost + 4 * n, value=n)
+                yield ctx.store(s_flow0, flow + 4 * n, value=0)
+            node = 0
+            for _ in range(hops):
+                nx = yield ctx.load(l_next, nxt + 4 * node)
+                yield ctx.load(l_cost, cost + 4 * node)
+                f = yield ctx.load(l_flow, flow + 4 * node)
+                yield ctx.store(s_flow, flow + 4 * node, value=(f or 0) + 1)
+                node = nx if nx is not None else 0
+
+        return ProgramInstance(self.name, cm, [body])
+
+
+@register_kernel
+class BC(Program):
+    """Stack-machine expression evaluator (GNU bc style).
+
+    Random postfix expressions drive push/pop patterns; the stack slot a
+    pop reads from depends on expression shape, giving the large space
+    of dependence sequences that made bc the hardest program in
+    Table IV.
+    """
+
+    name = "bc"
+
+    def default_params(self):
+        return {"exprs": 6, "max_depth": 4}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, exprs=6, max_depth=4, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        stack = mem.array("stack", max_depth + 2)
+        acc = mem.var("acc")
+
+        s_push = cm.store("push", function="eval")
+        l_pop_a = cm.load("pop_a", function="eval")
+        l_pop_b = cm.load("pop_b", function="eval")
+        s_result = cm.store("store_result", function="eval")
+        l_result = cm.load("load_result", function="print")
+        br = cm.branch("is_op", function="eval")
+
+        rng = make_rng(input_seed, stream=0xBC0)
+        programs = []
+        for _ in range(exprs):
+            # A random postfix expression: starts with two operands and
+            # alternates push/op so the stack never under/overflows.
+            n_ops = rng.randrange(1, max_depth)
+            tokens = ["num", "num"]
+            for _ in range(n_ops):
+                if rng.random() < 0.5 and tokens.count("num") - tokens.count("op") >= 2:
+                    tokens.append("op")
+                else:
+                    tokens.append("num")
+                    tokens.append("op")
+            while tokens.count("num") - tokens.count("op") > 1:
+                tokens.append("op")
+            programs.append(tokens)
+
+        def body(ctx):
+            for tokens in programs:
+                sp = 0
+                for tok in tokens:
+                    is_op = tok == "op"
+                    yield ctx.branch(br, is_op)
+                    if is_op:
+                        sp -= 1
+                        yield ctx.load(l_pop_a, stack + 4 * sp)
+                        sp -= 1
+                        yield ctx.load(l_pop_b, stack + 4 * sp)
+                        yield ctx.store(s_push, stack + 4 * sp, value=sp)
+                        sp += 1
+                    else:
+                        yield ctx.store(s_push, stack + 4 * sp, value=sp)
+                        sp += 1
+                sp -= 1
+                yield ctx.store(s_result, acc, value=sp)
+                yield ctx.load(l_result, acc)
+
+        return ProgramInstance(self.name, cm, [body])

@@ -1,0 +1,366 @@
+"""SPLASH2-style kernels: lu, fft, radix, barnes, ocean.
+
+Each kernel reproduces the RAW-communication skeleton of its namesake:
+owner-computes partitions, barrier-separated phases, and boundary /
+broadcast sharing that yields stable inter-thread dependence patterns.
+
+``lu``, ``fft`` and ``barnes`` support Table VI's injected bugs via the
+``inject=True`` parameter: the named function (``TouchA``,
+``TouchArray``, ``VListInteraction``) performs one stray read of a word
+it does not own, and the program fails at the end of the run (a
+completion-style failure). The stray read's dependence is the tagged
+root cause.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_kernel
+from repro.workloads.synclib import barrier
+
+
+@register_kernel
+class LU(Program):
+    """Blocked LU factorisation skeleton.
+
+    Threads own matrix blocks round-robin. Each step k: the diagonal
+    owner factors its block (intra-thread deps in ``lu_factor``), then
+    every thread updates its blocks against the pivot block
+    (inter-thread loads in ``lu_update``).
+    """
+
+    name = "lu"
+
+    def default_params(self):
+        return {"n_threads": 2, "nb": 4, "block": 4, "inject": False,
+                "new_code": True}
+
+    def params_for_seed(self, seed):
+        return {}
+
+    def build(self, n_threads=2, nb=4, block=4, inject=False,
+              new_code=True):
+        cm = CodeMap()
+        mem = AddressSpace()
+        blocks = [mem.array(f"A{b}", block) for b in range(nb)]
+        ctrl = mem.var("ctrl")
+
+        s_ctrl = cm.store("init_ctrl", function="setup")
+        # Two generations of TouchA: the legacy one (``new_code=False``)
+        # and the rewritten one. Table VI trains on the legacy binary
+        # and diagnoses a failure of the new one.
+        s_touch_old = cm.store("touch_store", function="TouchA_v0")
+        l_touch_old = cm.load("touch_load", function="TouchA_v0")
+        s_touch_new = cm.store("touch_store", function="TouchA")
+        l_touch_new = cm.load("touch_load", function="TouchA")
+        l_bug = cm.load("touch_stray_load", function="TouchA")
+        s_touch = s_touch_new if new_code else s_touch_old
+        l_touch = l_touch_new if new_code else l_touch_old
+        s_fact = cm.store("factor_store", function="lu_factor")
+        l_fact = cm.load("factor_load", function="lu_factor")
+        l_pivot = cm.load("update_load_pivot", function="lu_update")
+        l_mine = cm.load("update_load_mine", function="lu_update")
+        s_upd = cm.store("update_store", function="lu_update")
+        br_k = cm.branch("kloop", function="lu_update")
+
+        root = {(s_ctrl, l_bug)}
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    yield ctx.store(s_ctrl, ctrl, value=nb)
+                    yield ctx.set_flag("ctrl_ready")
+                else:
+                    yield ctx.wait("ctrl_ready")
+                # TouchA: initialise owned blocks, then verify them.
+                for b in range(tid, nb, n_threads):
+                    for w in range(block):
+                        yield ctx.store(s_touch, blocks[b] + 4 * w, value=b)
+                    for w in range(block):
+                        yield ctx.load(l_touch, blocks[b] + 4 * w)
+                if inject and tid == 0:
+                    # Injected bug: stray read of the setup-owned word.
+                    yield ctx.load(l_bug, ctrl)
+                yield from barrier(ctx, "init", tid, n_threads, 0)
+                for k in range(nb):
+                    owner = k % n_threads
+                    if tid == owner:
+                        for w in range(block):
+                            yield ctx.load(l_fact, blocks[k] + 4 * w)
+                            yield ctx.store(s_fact, blocks[k] + 4 * w,
+                                            value=k)
+                    yield from barrier(ctx, "fact", tid, n_threads, k)
+                    for b in range(tid, nb, n_threads):
+                        if b <= k:
+                            continue
+                        yield ctx.branch(br_k, True)
+                        for w in range(block):
+                            yield ctx.load(l_pivot, blocks[k] + 4 * w)
+                            yield ctx.load(l_mine, blocks[b] + 4 * w)
+                            yield ctx.store(s_upd, blocks[b] + 4 * w,
+                                            value=k * b)
+                    yield from barrier(ctx, "upd", tid, n_threads, k)
+                if inject and tid == 0:
+                    raise SimulatedFailure("lu: corrupted matrix detected",
+                                           tid=tid)
+            return body
+
+        inst = ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+        inst.root_cause = root if inject else None
+        return inst
+
+
+@register_kernel
+class FFT(Program):
+    """Radix-2 FFT skeleton: TouchArray init, local FFT1D, transpose.
+
+    The transpose phase reads every other thread's partition --- the
+    all-to-all inter-thread pattern the real kernel has.
+    """
+
+    name = "fft"
+
+    def default_params(self):
+        return {"n_threads": 2, "points": 16, "inject": False,
+                "new_code": True}
+
+    def build(self, n_threads=2, points=16, inject=False, new_code=True):
+        cm = CodeMap()
+        mem = AddressSpace()
+        parts = [mem.array(f"x{t}", points) for t in range(n_threads)]
+        scratch = [mem.array(f"s{t}", points) for t in range(n_threads)]
+        twiddle = mem.var("twiddle")
+
+        s_tw = cm.store("init_twiddle", function="setup")
+        s_touch_old = cm.store("toucharray_store", function="TouchArray_v0")
+        l_touch_old = cm.load("toucharray_load", function="TouchArray_v0")
+        s_touch_new = cm.store("toucharray_store", function="TouchArray")
+        l_touch_new = cm.load("toucharray_load", function="TouchArray")
+        l_bug = cm.load("toucharray_stray_load", function="TouchArray")
+        s_touch = s_touch_new if new_code else s_touch_old
+        l_touch = l_touch_new if new_code else l_touch_old
+        l_bfly_a = cm.load("bfly_load_a", function="FFT1D")
+        l_bfly_b = cm.load("bfly_load_b", function="FFT1D")
+        s_bfly = cm.store("bfly_store", function="FFT1D")
+        l_tw = cm.load("load_twiddle", function="FFT1D")
+        l_remote = cm.load("transpose_load_remote", function="Transpose")
+        s_scr = cm.store("transpose_store", function="Transpose")
+
+        root = {(s_tw, l_bug)}
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    yield ctx.store(s_tw, twiddle, value=1)
+                    yield ctx.set_flag("tw_ready")
+                else:
+                    yield ctx.wait("tw_ready")
+                for w in range(points):
+                    yield ctx.store(s_touch, parts[tid] + 4 * w, value=w)
+                for w in range(points):
+                    yield ctx.load(l_touch, parts[tid] + 4 * w)
+                if inject and tid == n_threads - 1:
+                    yield ctx.load(l_bug, twiddle)
+                yield from barrier(ctx, "touch", tid, n_threads, 0)
+                # FFT1D: log2(points) butterfly stages over the partition.
+                span = 1
+                stage = 0
+                while span < points:
+                    for w in range(0, points, 2 * span):
+                        yield ctx.load(l_bfly_a, parts[tid] + 4 * w)
+                        yield ctx.load(l_bfly_b,
+                                       parts[tid] + 4 * (w + span))
+                        yield ctx.load(l_tw, twiddle)
+                        yield ctx.store(s_bfly, parts[tid] + 4 * w,
+                                        value=stage)
+                    span *= 2
+                    stage += 1
+                yield from barrier(ctx, "fft1d", tid, n_threads, 0)
+                # Transpose: gather one word from every partition.
+                for src in range(n_threads):
+                    for w in range(tid, points, n_threads):
+                        yield ctx.load(l_remote, parts[src] + 4 * w)
+                        yield ctx.store(s_scr, scratch[tid] + 4 * (w % points),
+                                        value=src)
+                yield from barrier(ctx, "transpose", tid, n_threads, 0)
+                if inject and tid == n_threads - 1:
+                    raise SimulatedFailure("fft: checksum mismatch", tid=tid)
+            return body
+
+        inst = ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+        inst.root_cause = root if inject else None
+        return inst
+
+
+@register_kernel
+class Radix(Program):
+    """Radix-sort skeleton: local histogram, global prefix, permute."""
+
+    name = "radix"
+
+    def default_params(self):
+        return {"n_threads": 2, "keys": 12, "buckets": 4}
+
+    def params_for_seed(self, seed):
+        return {"input_seed": seed}
+
+    def build(self, n_threads=2, keys=12, buckets=4, input_seed=0):
+        cm = CodeMap()
+        mem = AddressSpace()
+        keyarr = [mem.array(f"k{t}", keys) for t in range(n_threads)]
+        hist = [mem.array(f"h{t}", buckets) for t in range(n_threads)]
+        out = mem.array("out", keys * n_threads)
+
+        s_key = cm.store("init_keys", function="init")
+        l_key = cm.load("hist_load_key", function="histogram")
+        l_h = cm.load("hist_load_bin", function="histogram")
+        s_h = cm.store("hist_store_bin", function="histogram")
+        l_other = cm.load("prefix_load_remote", function="prefix")
+        l_key2 = cm.load("permute_load_key", function="permute")
+        s_out = cm.store("permute_store", function="permute")
+
+        rng = make_rng(input_seed, stream=0xAD1)
+        key_vals = [[rng.randrange(buckets) for _ in range(keys)]
+                    for _ in range(n_threads)]
+
+        def body_for(tid):
+            def body(ctx):
+                for i in range(keys):
+                    yield ctx.store(s_key, keyarr[tid] + 4 * i,
+                                    value=key_vals[tid][i])
+                for b in range(buckets):
+                    yield ctx.store(s_h, hist[tid] + 4 * b, value=0)
+                for i in range(keys):
+                    k = yield ctx.load(l_key, keyarr[tid] + 4 * i)
+                    c = yield ctx.load(l_h, hist[tid] + 4 * k)
+                    yield ctx.store(s_h, hist[tid] + 4 * k, value=c + 1)
+                yield from barrier(ctx, "hist", tid, n_threads, 0)
+                offset = 0
+                for t in range(n_threads):
+                    for b in range(buckets):
+                        v = yield ctx.load(l_other, hist[t] + 4 * b)
+                        offset += v if v else 0
+                yield from barrier(ctx, "prefix", tid, n_threads, 0)
+                for i in range(keys):
+                    k = yield ctx.load(l_key2, keyarr[tid] + 4 * i)
+                    slot = (tid * keys + i) % (keys * n_threads)
+                    yield ctx.store(s_out, out + 4 * slot, value=k)
+            return body
+
+        return ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+
+
+@register_kernel
+class Barnes(Program):
+    """Barnes-Hut skeleton: main builds the tree, workers walk it.
+
+    ``VListInteraction`` (the force walk) reads tree cells written by
+    the builder -- broadcast-style inter-thread dependences.
+    """
+
+    name = "barnes"
+
+    def default_params(self):
+        return {"n_threads": 2, "bodies": 6, "cells": 8, "inject": False,
+                "new_code": True}
+
+    def build(self, n_threads=2, bodies=6, cells=8, inject=False,
+              new_code=True):
+        cm = CodeMap()
+        mem = AddressSpace()
+        tree = mem.array("tree", cells)
+        bodyarr = [mem.array(f"b{t}", bodies) for t in range(n_threads)]
+        force = [mem.array(f"f{t}", bodies) for t in range(n_threads)]
+        ctrl = mem.var("root_cell")
+
+        s_root = cm.store("store_root", function="maketree")
+        s_cell = cm.store("store_cell", function="maketree")
+        l_cell_old = cm.load("vlist_load_cell", function="VListInteraction_v0")
+        l_body_old = cm.load("vlist_load_body", function="VListInteraction_v0")
+        s_force_old = cm.store("vlist_store_force",
+                               function="VListInteraction_v0")
+        l_cell_new = cm.load("vlist_load_cell", function="VListInteraction")
+        l_body_new = cm.load("vlist_load_body", function="VListInteraction")
+        s_force_new = cm.store("vlist_store_force",
+                               function="VListInteraction")
+        l_bug = cm.load("vlist_stray_load", function="VListInteraction")
+        l_cell = l_cell_new if new_code else l_cell_old
+        l_body = l_body_new if new_code else l_body_old
+        s_force = s_force_new if new_code else s_force_old
+        l_force = cm.load("update_load_force", function="update")
+        s_body = cm.store("update_store_body", function="update")
+
+        root = {(s_root, l_bug)}
+
+        def body_for(tid):
+            def body(ctx):
+                if tid == 0:
+                    yield ctx.store(s_root, ctrl, value=cells)
+                    for c in range(cells):
+                        yield ctx.store(s_cell, tree + 4 * c, value=c)
+                yield from barrier(ctx, "tree", tid, n_threads, 0)
+                for i in range(bodies):
+                    for c in range(0, cells, 2):
+                        yield ctx.load(l_cell, tree + 4 * c)
+                    yield ctx.load(l_body, bodyarr[tid] + 4 * i)
+                    yield ctx.store(s_force, force[tid] + 4 * i, value=i)
+                if inject and tid == n_threads - 1:
+                    yield ctx.load(l_bug, ctrl)
+                yield from barrier(ctx, "force", tid, n_threads, 0)
+                for i in range(bodies):
+                    yield ctx.load(l_force, force[tid] + 4 * i)
+                    yield ctx.store(s_body, bodyarr[tid] + 4 * i, value=i)
+                if inject and tid == n_threads - 1:
+                    raise SimulatedFailure("barnes: NaN position", tid=tid)
+            return body
+
+        inst = ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])
+        inst.root_cause = root if inject else None
+        return inst
+
+
+@register_kernel
+class Ocean(Program):
+    """Red-black stencil over row bands with neighbour boundary reads."""
+
+    name = "ocean"
+
+    def default_params(self):
+        return {"n_threads": 2, "cols": 6, "iters": 3}
+
+    def build(self, n_threads=2, cols=6, iters=3):
+        cm = CodeMap()
+        mem = AddressSpace()
+        rows = [mem.array(f"row{t}", cols) for t in range(n_threads)]
+
+        s_init = cm.store("init_row", function="init")
+        l_self = cm.load("stencil_load_self", function="relax")
+        l_nbr = cm.load("stencil_load_neighbour", function="relax")
+        s_row = cm.store("stencil_store", function="relax")
+
+        def body_for(tid):
+            def body(ctx):
+                for c in range(cols):
+                    yield ctx.store(s_init, rows[tid] + 4 * c, value=c)
+                yield from barrier(ctx, "init", tid, n_threads, 0)
+                for it in range(iters):
+                    nbr = (tid + 1) % n_threads
+                    for c in range(cols):
+                        yield ctx.load(l_self, rows[tid] + 4 * c)
+                        yield ctx.load(l_nbr, rows[nbr] + 4 * c)
+                        yield ctx.store(s_row, rows[tid] + 4 * c,
+                                        value=it)
+                    yield from barrier(ctx, "iter", tid, n_threads, it + 1)
+            return body
+
+        return ProgramInstance(self.name, cm,
+                               [body_for(t) for t in range(n_threads)])

@@ -1,0 +1,60 @@
+"""Registry of benchmark kernels and bug programs.
+
+Kernels model the communication structure of the paper's SPLASH2 /
+PARSEC / SPEC / coreutils applications; bugs model the paper's 11 real
+bugs and 5 injected bugs (Tables V and VI).
+"""
+
+from repro.common.errors import ReproError
+
+_KERNELS = {}
+_BUGS = {}
+
+
+def register_kernel(cls):
+    """Class decorator: register a kernel Program by its ``name``."""
+    _KERNELS[cls.name] = cls
+    return cls
+
+
+def register_bug(cls):
+    """Class decorator: register a bug Program by its ``name``."""
+    _BUGS[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded():
+    # Imported lazily to avoid import cycles with framework.py.
+    from repro.workloads import kernels  # noqa: F401
+    from repro.workloads import bugs  # noqa: F401
+    from repro.workloads import taskpar  # noqa: F401
+
+
+def get_kernel(name):
+    """Instantiate the kernel registered under ``name``."""
+    _ensure_loaded()
+    try:
+        return _KERNELS[name]()
+    except KeyError:
+        raise ReproError(f"unknown kernel {name!r}; known: "
+                         f"{sorted(_KERNELS)}") from None
+
+
+def get_bug(name):
+    """Instantiate the bug program registered under ``name``."""
+    _ensure_loaded()
+    try:
+        return _BUGS[name]()
+    except KeyError:
+        raise ReproError(f"unknown bug {name!r}; known: "
+                         f"{sorted(_BUGS)}") from None
+
+
+def all_kernel_names():
+    _ensure_loaded()
+    return sorted(_KERNELS)
+
+
+def all_bug_names():
+    _ensure_loaded()
+    return sorted(_BUGS)

@@ -1,0 +1,23 @@
+"""Synchronisation helpers built on the framework's flag primitives.
+
+Flags are one-shot, so reusable constructs (barriers) embed an epoch in
+the flag name.
+"""
+
+
+def barrier(ctx, name, tid, n_threads, epoch):
+    """Generator sub-sequence implementing an ``n_threads`` barrier.
+
+    Use as ``yield from barrier(ctx, "phase", tid, n, k)`` with a fresh
+    ``epoch`` value per crossing.
+    """
+    yield ctx.set_flag(f"{name}.{epoch}.{tid}")
+    for other in range(n_threads):
+        if other != tid:
+            yield ctx.wait(f"{name}.{epoch}.{other}")
+
+
+def signal_and_wait(ctx, my_flag, their_flag):
+    """Two-party rendezvous."""
+    yield ctx.set_flag(my_flag)
+    yield ctx.wait(their_flag)

@@ -1,0 +1,216 @@
+"""Task-parallel programming model (the paper's deferred future work).
+
+Section IV.C: "We consider a general programming model using a thread
+library e.g., pthread. Other models (e.g., task parallel) are left as a
+future work." The challenge with task parallelism is that the mapping
+from *logical work* to *threads* is scheduler-dependent: the same task
+may run on any worker in any execution, so per-thread weights no longer
+line up with per-task behaviour.
+
+This module provides that model on top of the generator framework: a
+:class:`TaskPool` program runs worker threads that pull task closures
+from a lock-protected shared queue. Because ACT's pooled training
+(one weight set replicated per core, the default of
+:class:`~repro.core.offline.OfflineTrainer`) learns *communication
+patterns* rather than thread identities, diagnosis carries over: the
+included :class:`TaskGraphBug` demonstrates a cross-task order
+violation being caught regardless of which workers execute the racing
+tasks.
+"""
+
+from repro.common.errors import SimulatedFailure
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+from repro.workloads.registry import register_kernel
+from repro.workloads.synclib import barrier
+
+
+class TaskPool(Program):
+    """Generic work-stealing-style pool: subclasses provide tasks.
+
+    Subclasses override :meth:`make_tasks`, returning a list of task
+    generator functions ``task(ctx)``. Workers atomically pop the next
+    task index from a shared cursor (a real load/store under a lock, so
+    the pool's own communication is also visible to ACT) and run it.
+    """
+
+    name = "taskpool"
+
+    def default_params(self):
+        return {"n_workers": 2}
+
+    def make_tasks(self, cm, mem, **params):
+        raise NotImplementedError
+
+    def finalize(self, instance, **params):
+        """Hook for subclasses to attach a root cause etc."""
+        return instance
+
+    def build(self, n_workers=2, **params):
+        cm = CodeMap()
+        mem = AddressSpace()
+        cursor = mem.var("task_cursor")
+        l_cur = cm.load("pool_load_cursor", function="task_pool")
+        s_cur = cm.store("pool_store_cursor", function="task_pool")
+        s_init = cm.store("pool_init_cursor", function="task_pool")
+
+        tasks = self.make_tasks(cm, mem, **params)
+        n_tasks = len(tasks)
+
+        def worker(wid):
+            def body(ctx):
+                if wid == 0:
+                    yield ctx.store(s_init, cursor, value=0)
+                    yield ctx.set_flag("pool_ready")
+                else:
+                    yield ctx.wait("pool_ready")
+                while True:
+                    yield ctx.acquire("pool_lock")
+                    idx = yield ctx.load(l_cur, cursor)
+                    idx = idx or 0
+                    if idx >= n_tasks:
+                        yield ctx.release("pool_lock")
+                        break
+                    yield ctx.store(s_cur, cursor, value=idx + 1)
+                    yield ctx.release("pool_lock")
+                    yield from tasks[idx](ctx)
+                yield from barrier(ctx, "pool_done", wid, n_workers, 0)
+            return body
+
+        instance = ProgramInstance(self.name, cm,
+                                   [worker(w) for w in range(n_workers)])
+        return self.finalize(instance, **params)
+
+
+@register_kernel
+class TaskMapReduce(TaskPool):
+    """Map-reduce over a task pool: N map tasks fill partial sums, one
+    reduce task (queued last) combines them.
+
+    Correct because the pool's FIFO cursor plus per-slot ready flags
+    order the reduce after every map. The communication pattern --
+    reduce-task loads reading map-task stores -- is inter- or
+    intra-thread depending on which workers ran which tasks, exercising
+    exactly the label nondeterminism that makes task parallelism hard
+    for invariant schemes.
+    """
+
+    name = "taskmapreduce"
+
+    def default_params(self):
+        return {"n_workers": 2, "n_maps": 4, "items": 3}
+
+    def make_tasks(self, cm, mem, n_maps=4, items=3):
+        partial = mem.array("partials", n_maps)
+        data = [mem.array(f"chunk{m}", items) for m in range(n_maps)]
+        total = mem.var("total")
+
+        s_data = cm.store("map_fill_item", function="map_task")
+        l_data = cm.load("map_load_item", function="map_task")
+        s_part = cm.store("map_store_partial", function="map_task")
+        l_part = cm.load("reduce_load_partial", function="reduce_task")
+        s_total = cm.store("reduce_store_total", function="reduce_task")
+        l_total = cm.load("reduce_check_total", function="reduce_task")
+
+        def map_task(m):
+            def task(ctx):
+                acc = 0
+                for i in range(items):
+                    yield ctx.store(s_data, data[m] + 4 * i, value=m + i)
+                for i in range(items):
+                    v = yield ctx.load(l_data, data[m] + 4 * i)
+                    acc += v or 0
+                yield ctx.store(s_part, partial + 4 * m, value=acc)
+                yield ctx.set_flag(f"map{m}_done")
+            return task
+
+        def reduce_task(ctx):
+            acc = 0
+            for m in range(n_maps):
+                yield ctx.wait(f"map{m}_done")
+                v = yield ctx.load(l_part, partial + 4 * m)
+                acc += v or 0
+            yield ctx.store(s_total, total, value=acc)
+            yield ctx.load(l_total, total)
+
+        return [map_task(m) for m in range(n_maps)] + [reduce_task]
+
+
+@register_kernel
+class TaskGraphBug(TaskPool):
+    """Cross-task order violation under the task-parallel model.
+
+    A producer task writes a result buffer and *then* publishes its
+    length; a consumer task (correctly) waits for the publication flag.
+    The buggy build drops the wait: whichever worker runs the consumer
+    can read the length before the producer's final store and walk into
+    the unpublished region -- reading the pool's scratch word instead.
+    The racing tasks land on different workers in some schedules and
+    the same worker in others, so the invalid dependence appears with
+    both thread labels across failure runs.
+    """
+
+    name = "taskgraphbug"
+
+    def default_params(self):
+        return {"n_workers": 2, "buggy": False, "rows": 5}
+
+    def make_tasks(self, cm, mem, buggy=False, rows=5):
+        buf = mem.array("result_buf", rows)
+        scratch = mem.var("pool_scratch", packed=True)
+        length = mem.var("result_len")
+
+        s_scratch = cm.store("init_scratch", function="pool_setup")
+        s_len0 = cm.store("init_len", function="pool_setup")
+        s_row = cm.store("producer_store_row", function="produce_task")
+        s_len = cm.store("producer_publish_len", function="produce_task")
+        l_len = cm.load("consumer_load_len", function="consume_task")
+        l_row = cm.load("consumer_load_row", function="consume_task")
+        s_out = cm.store("consumer_store_out", function="consume_task")
+        out = mem.array("consumer_out", rows + 2)
+
+        self._root = {(s_scratch, l_row)}
+
+        def setup_task(ctx):
+            yield ctx.store(s_scratch, scratch, value=0xFEED)
+            yield ctx.store(s_len0, length, value=0)
+            yield ctx.set_flag("setup_done")
+
+        def produce_task(ctx):
+            yield ctx.wait("setup_done")
+            for r in range(rows):
+                yield ctx.store(s_row, buf + 4 * r, value=r)
+                if buggy and r == 1:
+                    # Publishes a speculative length mid-production.
+                    yield ctx.store(s_len, length, value=rows + 1)
+                    yield ctx.set_flag("len_visible")
+                    yield ctx.wait("consumed")
+            yield ctx.store(s_len, length, value=rows)
+            yield ctx.set_flag("published")
+
+        def consume_task(ctx):
+            yield ctx.wait("setup_done")
+            if buggy:
+                yield ctx.wait("len_visible")
+            else:
+                yield ctx.wait("published")
+            n = yield ctx.load(l_len, length)
+            for r in range(n or 0):
+                v = yield ctx.load(l_row, buf + 4 * r if r < rows
+                                   else scratch)
+                yield ctx.store(s_out, out + 4 * r, value=v)
+                if r >= rows:
+                    raise SimulatedFailure(
+                        f"taskgraph: consumed unpublished row {r} "
+                        f"(read {v:#x})", pc=l_row)
+            yield ctx.set_flag("consumed")
+
+        return [setup_task, produce_task, consume_task]
+
+    def finalize(self, instance, **params):
+        instance.root_cause = getattr(self, "_root", None)
+        return instance

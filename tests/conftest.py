@@ -1,0 +1,127 @@
+"""Shared fixtures: fast configs, tiny programs, cached trained models."""
+
+import pytest
+
+from repro.common.errors import SimulatedFailure
+from repro.core.config import ACTConfig
+from repro.core.offline import OfflineTrainer
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+
+
+class PingPong(Program):
+    """Two threads exchanging a counter -- the minimal concurrent workload."""
+
+    name = "pingpong"
+
+    def default_params(self):
+        return {"rounds": 6}
+
+    def build(self, rounds=6):
+        cm = CodeMap()
+        mem = AddressSpace()
+        ball = mem.var("ball")
+        pad = [mem.array(f"pad{t}", 4) for t in range(2)]
+
+        s_serve = cm.store("serve", function="t0")
+        l_ret0 = cm.load("t0_return", function="t0")
+        s_hit0 = cm.store("t0_hit", function="t0")
+        l_ret1 = cm.load("t1_return", function="t1")
+        s_hit1 = cm.store("t1_hit", function="t1")
+        l_pad = cm.load("read_pad", function="t1")
+        s_pad = cm.store("write_pad", function="t1")
+
+        def t0(ctx):
+            yield ctx.store(s_serve, ball, value=0)
+            yield ctx.set_flag("served")
+            for r in range(rounds):
+                yield ctx.wait(f"hit1.{r}")
+                yield ctx.load(l_ret0, ball)
+                yield ctx.store(s_hit0, ball, value=2 * r)
+                yield ctx.set_flag(f"hit0.{r}")
+
+        def t1(ctx):
+            yield ctx.wait("served")
+            for r in range(rounds):
+                yield ctx.store(s_pad, pad[1] + 4 * (r % 4), value=r)
+                yield ctx.load(l_pad, pad[1] + 4 * (r % 4))
+                yield ctx.load(l_ret1, ball)
+                yield ctx.store(s_hit1, ball, value=2 * r + 1)
+                yield ctx.set_flag(f"hit1.{r}")
+                yield ctx.wait(f"hit0.{r}")
+
+        return ProgramInstance(self.name, cm, [t0, t1])
+
+
+class TinyBug(Program):
+    """Single-thread program with a deterministic wild-read failure."""
+
+    name = "tinybug"
+
+    def default_params(self):
+        return {"buggy": False, "n": 8}
+
+    def build(self, buggy=False, n=8):
+        cm = CodeMap()
+        mem = AddressSpace()
+        buf = mem.array("buf", n)
+        hidden = mem.var("hidden", packed=True)
+
+        s_hidden = cm.store("init_hidden", function="setup")
+        s_buf = cm.store("fill", function="work")
+        l_buf = cm.load("read", function="work")
+        l_oob = cm.load("read_oob", function="work")
+
+        def body(ctx):
+            yield ctx.store(s_hidden, hidden, value=7)
+            for i in range(n):
+                yield ctx.store(s_buf, buf + 4 * i, value=i)
+            for i in range(n):
+                yield ctx.load(l_buf, buf + 4 * i)
+            if buggy:
+                v = yield ctx.load(l_oob, hidden)
+                raise SimulatedFailure(f"tinybug: wild read {v}", pc=l_oob)
+
+        inst = ProgramInstance(self.name, cm, [body])
+        inst.root_cause = {(s_hidden, l_oob)}
+        return inst
+
+
+@pytest.fixture
+def pingpong():
+    return PingPong()
+
+
+@pytest.fixture
+def tinybug():
+    return TinyBug()
+
+
+@pytest.fixture
+def fast_config():
+    """Small sequence length + window for quick online behaviour."""
+    return ACTConfig(seq_len=3, check_window=20)
+
+
+@pytest.fixture(scope="session")
+def default_config():
+    return ACTConfig()
+
+
+@pytest.fixture(scope="session")
+def trained_tinybug():
+    """A TrainedACT for TinyBug, shared across the session."""
+    cfg = ACTConfig(seq_len=3, check_window=20)
+    return OfflineTrainer(config=cfg).train(TinyBug(), n_runs=4,
+                                            buggy=False)
+
+
+@pytest.fixture(scope="session")
+def trained_lu():
+    from repro.workloads import get_kernel
+    cfg = ACTConfig()
+    return OfflineTrainer(config=cfg).train(get_kernel("lu"), n_runs=4)

@@ -1,0 +1,92 @@
+"""Unit tests for the ablation runners (small configurations)."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    ablate_debug_buffer,
+    ablate_seq_len,
+    ablate_threshold,
+    ablate_training_ingredients,
+    format_ablations,
+)
+
+
+@pytest.fixture(scope="module")
+def seq_points():
+    return ablate_seq_len(bug="gzip", seq_lens=(2, 5), n_train=5,
+                          n_pruning=6)
+
+
+@pytest.fixture(scope="module")
+def buffer_points():
+    return ablate_debug_buffer(sizes=(15, 240), n_train=5, n_pruning=6)
+
+
+@pytest.fixture(scope="module")
+def threshold_points():
+    return ablate_threshold(thresholds=(0.01, 0.5), n_train=4)
+
+
+@pytest.fixture(scope="module")
+def training_rows():
+    return ablate_training_ingredients(bug="ptx", n_train=5, n_pruning=6)
+
+
+class TestSeqLenAblation:
+    def test_point_per_seq_len(self, seq_points):
+        assert [p.seq_len for p in seq_points] == [2, 5]
+
+    def test_longest_history_diagnoses(self, seq_points):
+        assert seq_points[-1].found
+
+    def test_fp_rates_bounded(self, seq_points):
+        for p in seq_points:
+            assert 0.0 <= p.false_positive_pct <= 100.0
+
+
+class TestBufferAblation:
+    def test_small_buffer_loses_root_cause(self, buffer_points):
+        assert not buffer_points[0].found
+        assert buffer_points[0].overflowed
+
+    def test_large_buffer_finds_it(self, buffer_points):
+        assert buffer_points[-1].found
+
+
+class TestThresholdAblation:
+    def test_lower_threshold_reacts_at_least_as_much(self, threshold_points):
+        low, high = threshold_points
+        assert low.threshold < high.threshold
+        assert low.mode_switches >= high.mode_switches
+
+    def test_counters_consistent(self, threshold_points):
+        for p in threshold_points:
+            assert p.online_trained <= p.invalid_predictions
+
+
+class TestTrainingAblation:
+    def test_three_variants(self, training_rows):
+        assert {r.variant for r in training_rows} == \
+            {"full", "no_augment", "no_line_view"}
+
+    def test_full_recipe_diagnoses(self, training_rows):
+        by = {r.variant: r for r in training_rows}
+        assert by["full"].found
+
+    def test_augmentation_is_load_bearing(self, training_rows):
+        """Without wrong-writer negatives the wild-read bug is missed
+        (ptx's out-of-bounds read hits a store no load ever reads)."""
+        by = {r.variant: r for r in training_rows}
+        assert not by["no_augment"].found or \
+            by["no_augment"].rank >= by["full"].rank
+
+
+class TestFormatting:
+    def test_renders_all_four_tables(self, seq_points, buffer_points,
+                                     threshold_points, training_rows):
+        out = format_ablations(seq_points, buffer_points,
+                               threshold_points, training_rows)
+        assert "RAW-sequence length" in out
+        assert "Debug-Buffer size" in out
+        assert "threshold" in out
+        assert "ingredients" in out

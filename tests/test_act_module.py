@@ -1,0 +1,139 @@
+"""Tests for the ACT Module's online testing/training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.act_module import ACTModule, Mode
+from repro.core.config import ACTConfig
+from repro.core.encoding import DepEncoder
+from repro.trace.raw import RawDep
+
+
+def _module(seq_len=2, window=10, threshold=0.3, seed=0):
+    cfg = ACTConfig(seq_len=seq_len, check_window=window,
+                    mispred_threshold=threshold)
+    pcs = [0x100 + 4 * i for i in range(20)]
+    return ACTModule(config=cfg, encoder=DepEncoder(pcs=pcs), seed=seed)
+
+
+def _dep(i, j=None):
+    return RawDep(0x100 + 4 * i, 0x100 + 4 * (j if j is not None else i + 1))
+
+
+class TestWarmup:
+    def test_first_deps_produce_no_prediction(self):
+        m = _module(seq_len=3)
+        assert m.process_dep(_dep(0)) is None
+        assert m.process_dep(_dep(1)) is None
+        assert m.process_dep(_dep(2)) is not None
+
+    def test_stats_count_all_deps(self):
+        m = _module(seq_len=3)
+        for i in range(5):
+            m.process_dep(_dep(i))
+        assert m.stats.deps_processed == 5
+        assert m.stats.predictions == 3
+
+
+class TestLogging:
+    def test_invalid_predictions_logged(self):
+        m = _module()
+        for i in range(30):
+            rec = m.process_dep(_dep(i % 6))
+        logged = len(m.debug_buffer.entries) + \
+            (m.debug_buffer.total_logged - len(m.debug_buffer.entries))
+        assert logged == m.stats.invalid_predictions
+
+    def test_record_fields_consistent(self):
+        m = _module()
+        m.process_dep(_dep(0))
+        rec = m.process_dep(_dep(1))
+        assert rec.predicted_invalid == (rec.output < 0.5)
+        assert rec.mode is Mode.TESTING
+
+
+class TestModeSwitching:
+    def test_high_misprediction_triggers_training(self):
+        m = _module(window=10, threshold=0.3)
+        # untrained random net: force deps until a window check happens
+        switched = False
+        for i in range(200):
+            m.process_dep(_dep(i % 17, (i * 3) % 17))
+            if m.mode is Mode.TRAINING:
+                switched = True
+                break
+        # With a random initial network, some window exceeds 30%.
+        assert switched or m.stats.invalid_predictions == 0
+
+    def test_training_mode_learns_and_returns_to_testing(self):
+        m = _module(window=20, threshold=0.2, seed=5)
+        m.mode = Mode.TRAINING
+        deps = [_dep(i % 4) for i in range(400)]
+        for d in deps:
+            m.process_dep(d)
+        # after enough online training the recurring windows are learned
+        assert m.mode is Mode.TESTING
+        assert m.stats.online_trained > 0
+
+    def test_window_counter_resets(self):
+        m = _module(window=5)
+        for i in range(12):
+            m.process_dep(_dep(i % 3))
+        # 12 deps, seq_len=3 warmup of 2 -> 11 predictions -> two full
+        # windows of 5 and one leftover prediction
+        assert m.stats.windows_checked == 2
+        assert m._window_count == 1
+
+    def test_window_rates_recorded(self):
+        m = _module(window=5)
+        for i in range(11):  # 10 predictions after 1-dep warmup
+            m.process_dep(_dep(i % 3))
+        assert len(m.stats.window_rates) == 2
+        for rate in m.stats.window_rates:
+            assert 0.0 <= rate <= 1.0
+
+
+class TestOnlineTraining:
+    def test_online_training_reduces_invalid_rate(self):
+        m = _module(window=1000, seed=3)
+        m.mode = Mode.TRAINING
+        pattern = [_dep(0), _dep(1), _dep(2), _dep(3)]
+        # run the same pattern repeatedly; count invalids per pass
+        def one_pass():
+            inv0 = m.stats.invalid_predictions
+            for d in pattern * 5:
+                m.process_dep(d)
+            return m.stats.invalid_predictions - inv0
+        first = one_pass()
+        for _ in range(20):
+            last = one_pass()
+        assert last <= first
+
+    def test_testing_mode_never_trains(self):
+        # window larger than the run so no rate check (and hence no
+        # mode flip) can happen
+        m = _module(window=10_000)
+        w_before = m.net.read_weights()
+        for i in range(50):
+            m.process_dep(_dep(i % 7))
+        assert m.mode is Mode.TESTING
+        assert np.allclose(w_before, m.net.read_weights())
+
+
+class TestArchitecturalState:
+    def test_save_restore_roundtrip(self):
+        m = _module()
+        saved = m.save_weights()
+        m2 = _module(seed=99)
+        m2.restore_weights(saved)
+        assert np.allclose(m2.save_weights(), saved)
+
+    def test_context_switch_flushes_input_buffer(self):
+        m = _module(seq_len=2)
+        m.process_dep(_dep(0))
+        m.process_dep(_dep(1))
+        saved = m.context_switch_out()
+        assert len(m.input_buffer) == 0
+        m.context_switch_in(saved)
+        # after restore the module warms up again
+        assert m.process_dep(_dep(2)) is None

@@ -1,0 +1,101 @@
+"""Tests for the Input Generator Buffer and Debug Buffer."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.buffers import DebugBuffer, DebugEntry, InputGeneratorBuffer
+from repro.trace.raw import RawDep
+
+
+def _dep(i):
+    return RawDep(0x100 + 4 * i, 0x200 + 4 * i)
+
+
+class TestInputGeneratorBuffer:
+    def test_warmup_returns_none(self):
+        buf = InputGeneratorBuffer(5)
+        buf.push(_dep(0))
+        assert buf.sequence(3) is None
+
+    def test_sequence_oldest_first(self):
+        buf = InputGeneratorBuffer(5)
+        for i in range(4):
+            buf.push(_dep(i))
+        seq = buf.sequence(3)
+        assert seq == (_dep(1), _dep(2), _dep(3))
+
+    def test_fifo_drops_oldest(self):
+        buf = InputGeneratorBuffer(3)
+        for i in range(5):
+            buf.push(_dep(i))
+        assert buf.sequence(3) == (_dep(2), _dep(3), _dep(4))
+        assert len(buf) == 3
+
+    def test_sequence_longer_than_capacity_rejected(self):
+        buf = InputGeneratorBuffer(3)
+        with pytest.raises(ConfigError):
+            buf.sequence(4)
+
+    def test_clear(self):
+        buf = InputGeneratorBuffer(3)
+        buf.push(_dep(0))
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            InputGeneratorBuffer(0)
+
+
+class TestDebugBuffer:
+    def _entry(self, i, output=0.1):
+        return DebugEntry(seq=(_dep(i),), output=output, index=i, tid=0)
+
+    def test_keeps_last_n(self):
+        buf = DebugBuffer(3)
+        for i in range(5):
+            buf.log(self._entry(i))
+        assert [e.index for e in buf.entries] == [2, 3, 4]
+
+    def test_overflow_flag(self):
+        buf = DebugBuffer(2)
+        buf.log(self._entry(0))
+        assert not buf.overflowed
+        buf.log(self._entry(1))
+        assert not buf.overflowed
+        buf.log(self._entry(2))
+        assert buf.overflowed
+
+    def test_total_logged_counts_overwritten(self):
+        buf = DebugBuffer(2)
+        for i in range(5):
+            buf.log(self._entry(i))
+        assert buf.total_logged == 5
+        assert len(buf) == 2
+
+    def test_position_from_newest(self):
+        buf = DebugBuffer(10)
+        for i in range(4):
+            buf.log(self._entry(i))
+        pos = buf.position_from_newest(lambda e: e.index == 3)
+        assert pos == 1
+        pos = buf.position_from_newest(lambda e: e.index == 0)
+        assert pos == 4
+
+    def test_position_none_when_absent(self):
+        buf = DebugBuffer(2)
+        for i in range(5):
+            buf.log(self._entry(i))
+        assert buf.position_from_newest(lambda e: e.index == 0) is None
+
+    def test_clear_resets_overflow(self):
+        buf = DebugBuffer(1)
+        buf.log(self._entry(0))
+        buf.log(self._entry(1))
+        buf.clear()
+        assert not buf.overflowed
+        assert buf.total_logged == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            DebugBuffer(0)

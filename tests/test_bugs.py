@@ -1,0 +1,105 @@
+"""Tests for the Table V bug programs."""
+
+import pytest
+
+from repro.common.errors import SimulatedFailure
+from repro.trace.raw import extract_raw_deps
+from repro.workloads.framework import run_program
+from repro.workloads.registry import all_bug_names, get_bug
+
+ALL_BUGS = all_bug_names()
+CONCURRENCY = ("aget", "apache", "memcached", "mysql1", "mysql2",
+               "mysql3", "pbzip2")
+SEQUENTIAL = ("gzip", "seq", "ptx", "paste")
+
+
+class TestCorrectRuns:
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    @pytest.mark.parametrize("seed", [0, 3, 11, 27])
+    def test_correct_runs_never_fail(self, name, seed):
+        run = run_program(get_bug(name), seed=seed, buggy=False)
+        assert not run.failed, run.failure
+
+
+class TestBuggyRuns:
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    def test_buggy_run_fails(self, name):
+        run = run_program(get_bug(name), seed=12345, buggy=True)
+        assert run.failed
+        assert isinstance(run.failure, SimulatedFailure)
+
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    def test_root_cause_tagged(self, name):
+        run = run_program(get_bug(name), seed=12345, buggy=True)
+        truth = run.meta["root_cause"]
+        assert truth
+        for pair in truth:
+            assert len(pair) == 2
+
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    def test_root_cause_dep_actually_occurs(self, name):
+        run = run_program(get_bug(name), seed=12345, buggy=True)
+        truth = run.meta["root_cause"]
+        streams = extract_raw_deps(run)
+        seen = {(r.dep.store_pc, r.dep.load_pc)
+                for s in streams.values() for r in s}
+        assert truth & seen
+
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    def test_root_cause_dep_never_in_correct_runs(self, name):
+        truth = run_program(get_bug(name), seed=0,
+                            buggy=True).meta["root_cause"]
+        for seed in range(6):
+            run = run_program(get_bug(name), seed=seed, buggy=False)
+            streams = extract_raw_deps(run)
+            seen = {(r.dep.store_pc, r.dep.load_pc)
+                    for s in streams.values() for r in s}
+            assert not (truth & seen), (name, seed)
+
+    @pytest.mark.parametrize("name", CONCURRENCY)
+    def test_concurrency_bugs_are_multithreaded(self, name):
+        run = run_program(get_bug(name), seed=0, buggy=True)
+        assert run.n_threads >= 2
+
+    @pytest.mark.parametrize("name", SEQUENTIAL)
+    def test_sequential_bugs_single_thread(self, name):
+        run = run_program(get_bug(name), seed=0, buggy=True)
+        assert run.n_threads == 1
+
+    @pytest.mark.parametrize("name", ALL_BUGS)
+    def test_failure_run_warm_enough_for_windows(self, name):
+        """The failing thread must have >= 5 deps before the root cause
+        so a full default-length sequence can form (Section III.C)."""
+        run = run_program(get_bug(name), seed=12345, buggy=True)
+        truth = run.meta["root_cause"]
+        streams = extract_raw_deps(run)
+        for stream in streams.values():
+            for i, rec in enumerate(stream):
+                if (rec.dep.store_pc, rec.dep.load_pc) in truth:
+                    assert i >= 4, (name, i)
+                    return
+        pytest.fail("root-cause dep not found in any stream")
+
+
+class TestSpecificShapes:
+    def test_gzip_failure_input_has_interior_dash(self):
+        """Figure 2(d): '-' in the middle triggers, at the start doesn't."""
+        run = run_program(get_bug("gzip"), seed=0, buggy=True)
+        assert "descriptor" in str(run.failure)
+
+    def test_mysql1_long_tail_after_race(self):
+        buggy = run_program(get_bug("mysql1"), seed=0, buggy=True)
+        correct = run_program(get_bug("mysql1"), seed=0, buggy=False)
+        assert len(buggy.events) > 2 * len(correct.events)
+
+    def test_apache_double_free_message(self):
+        run = run_program(get_bug("apache"), seed=0, buggy=True)
+        assert "free" in str(run.failure)
+
+    def test_ptx_overflow_reads_past_buffer(self):
+        run = run_program(get_bug("ptx"), seed=0, buggy=True)
+        assert "bounds" in str(run.failure)
+
+    def test_paste_crash_is_immediate(self):
+        run = run_program(get_bug("paste"), seed=0, buggy=True)
+        assert run.events[-1].kind.is_memory()

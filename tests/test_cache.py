@@ -1,0 +1,96 @@
+"""Tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.sim.cache import Cache, CacheLine
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = Cache(n_sets=4, assoc=2, line_size=64)
+        assert c.lookup(100) is None
+        c.insert(100, "E")
+        assert c.lookup(100) is not None
+        assert 100 in c
+
+    def test_line_alignment(self):
+        c = Cache(n_sets=4, assoc=2, line_size=64)
+        assert c.line_addr(130) == 128
+        c.insert(130, "E")
+        assert c.lookup(190) is not None  # same line
+        assert c.lookup(192) is None      # next line
+
+    def test_invalidate(self):
+        c = Cache(n_sets=4, assoc=2, line_size=64)
+        c.insert(100, "M")
+        line = c.invalidate(100)
+        assert line.state == "M"
+        assert c.lookup(100) is None
+
+    def test_lru_eviction_order(self):
+        c = Cache(n_sets=1, assoc=2, line_size=64)
+        c.insert(0, "E")
+        c.insert(64, "E")
+        c.lookup(0)              # touch 0: now 64 is LRU
+        _, evicted = c.insert(128, "E")
+        assert evicted.addr == 64
+
+    def test_reinsert_updates_state(self):
+        c = Cache(n_sets=1, assoc=2, line_size=64)
+        c.insert(0, "E")
+        line, evicted = c.insert(0, "M")
+        assert evicted is None
+        assert line.state == "M"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Cache(n_sets=0, assoc=1, line_size=64)
+        with pytest.raises(ConfigError):
+            Cache(n_sets=1, assoc=0, line_size=64)
+
+
+class TestLineMetadata:
+    def test_word_granularity_writers(self):
+        line = CacheLine(0)
+        line.set_writer(0, 0x10, 1, word_granularity=True)
+        line.set_writer(1, 0x14, 2, word_granularity=True)
+        assert line.get_writer(0, True) == (0x10, 1)
+        assert line.get_writer(1, True) == (0x14, 2)
+
+    def test_line_granularity_single_writer(self):
+        line = CacheLine(0)
+        line.set_writer(0, 0x10, 1, word_granularity=False)
+        line.set_writer(5, 0x14, 2, word_granularity=False)
+        # one writer per line: the later store wins for every word
+        assert line.get_writer(0, False) == (0x14, 2)
+        assert line.get_writer(9, False) == (0x14, 2)
+
+    def test_missing_writer(self):
+        line = CacheLine(0)
+        assert line.get_writer(3, True) is None
+
+
+class TestPropertyLRU:
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru(self, accesses):
+        """The cache behaves exactly like a reference LRU model."""
+        assoc = 2
+        c = Cache(n_sets=1, assoc=assoc, line_size=64)
+        reference = []  # most recent last
+        for slot in accesses:
+            addr = slot * 64
+            if c.lookup(addr) is not None:
+                assert addr in reference
+                reference.remove(addr)
+                reference.append(addr)
+            else:
+                assert addr not in reference
+                c.insert(addr, "E")
+                if len(reference) >= assoc:
+                    reference.pop(0)
+                reference.append(addr)
+            resident = {line.addr for line in c.resident_lines()}
+            assert resident == set(reference)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_diagnose_defaults(self):
+        args = build_parser().parse_args(["diagnose", "gzip"])
+        args_dict = vars(args)
+        assert args_dict["bug"] == "gzip"
+        assert args_dict["debug_buffer"] == 60
+        assert args_dict["seq_len"] == 5
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diagnose", "not-a-bug"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "lu" in out and "table5" in out
+
+    def test_diagnose_finds_bug(self, capsys):
+        rc = main(["diagnose", "gzip", "--train-runs", "6",
+                   "--pruning-runs", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "root cause found : True" in out
+
+    def test_trace_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl"
+        rc = main(["trace", "lu", "--seed", "2", "--out", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        from repro.trace.trace_io import read_trace
+        run = read_trace(out_file)
+        assert len(run.events) > 0
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "ACT" in capsys.readouterr().out
+
+    def test_experiment_nn_design_fast(self, capsys):
+        assert main(["experiment", "nn_design", "--preset", "fast"]) == 0
+        assert "Mux" in capsys.readouterr().out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "lu", "mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "lu" in out and "mcf" in out and "Inter %" in out

@@ -1,0 +1,60 @@
+"""Tests for ACTConfig validation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.config import ACTConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = ACTConfig()
+        assert cfg.seq_len == 5
+        assert cfg.n_inputs == 10
+        assert cfg.debug_buffer == 60
+        assert cfg.mispred_threshold == 0.05
+
+    def test_seq_len_bounded_by_max_inputs(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(seq_len=6, max_inputs=10)
+
+    def test_seq_len_positive(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(seq_len=0)
+
+    def test_input_buffer_fits_sequence(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(seq_len=5, input_gen_buffer=4)
+
+    def test_threshold_range(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(mispred_threshold=0.0)
+        with pytest.raises(ConfigError):
+            ACTConfig(mispred_threshold=1.0)
+
+    def test_window_positive(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(check_window=0)
+
+    def test_debug_buffer_positive(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(debug_buffer=0)
+
+    def test_line_size_multiple_of_word(self):
+        with pytest.raises(ConfigError):
+            ACTConfig(line_size=30)
+        ACTConfig(line_size=32)  # ok
+
+    def test_with_creates_modified_copy(self):
+        cfg = ACTConfig()
+        cfg2 = cfg.with_(seq_len=3)
+        assert cfg2.seq_len == 3
+        assert cfg.seq_len == 5
+
+    def test_with_validates(self):
+        cfg = ACTConfig()
+        with pytest.raises(ConfigError):
+            cfg.with_(seq_len=9)
+
+    def test_n_inputs_is_two_per_dep(self):
+        assert ACTConfig(seq_len=3).n_inputs == 6

@@ -1,0 +1,88 @@
+"""Tests for the networkx dependence-graph views."""
+
+import networkx as nx
+
+from repro.core.offline import collect_correct_runs
+from repro.trace.depgraph import (
+    communication_graph,
+    hot_dependences,
+    path_budget,
+    sequence_graph,
+    window_space_size,
+)
+from repro.trace.raw import dep_sequences, extract_raw_deps
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+class TestCommunicationGraph:
+    def test_edges_match_observed_deps(self):
+        run = run_program(get_kernel("ocean"), seed=1)
+        g = communication_graph([run])
+        deps = {(r.dep.store_pc, r.dep.load_pc)
+                for s in extract_raw_deps(run).values() for r in s}
+        assert set(g.edges) == deps
+
+    def test_counts_sum_to_dynamic_deps(self):
+        run = run_program(get_kernel("lu"), seed=1)
+        g = communication_graph([run])
+        total = sum(d["count"] for _, _, d in g.edges(data=True))
+        dynamic = sum(len(s) for s in extract_raw_deps(run).values())
+        assert total == dynamic
+
+    def test_label_split(self):
+        run = run_program(get_kernel("ocean"), seed=1)
+        g = communication_graph([run])
+        for _, _, d in g.edges(data=True):
+            assert d["inter"] + d["intra"] == d["count"]
+
+    def test_multiple_runs_accumulate(self):
+        runs = collect_correct_runs(get_kernel("lu"), 2)
+        g1 = communication_graph(runs[:1])
+        g2 = communication_graph(runs)
+        c1 = sum(d["count"] for *_, d in g1.edges(data=True))
+        c2 = sum(d["count"] for *_, d in g2.edges(data=True))
+        assert c2 > c1
+
+    def test_hot_dependences_sorted(self):
+        run = run_program(get_kernel("mcf"), seed=1)
+        g = communication_graph([run])
+        hot = hot_dependences(g, k=3)
+        counts = [c for _, c in hot]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestSequenceGraph:
+    def test_edges_are_observed_transitions(self):
+        run = run_program(get_kernel("bzip2"), seed=1)
+        g = sequence_graph([run])
+        stream = extract_raw_deps(run)[0]
+        deps = [r.dep for r in stream]
+        for a, b in zip(deps, deps[1:]):
+            assert g.has_edge(a, b)
+
+    def test_windows_are_paths(self):
+        """Every observed window of length n is a walk in the graph."""
+        run = run_program(get_kernel("lu"), seed=1)
+        g = sequence_graph([run])
+        for stream in extract_raw_deps(run).values():
+            for seq in dep_sequences(stream, 3):
+                for a, b in zip(seq, seq[1:]):
+                    assert g.has_edge(a, b)
+
+    def test_window_space_bounded_by_path_budget(self):
+        runs = collect_correct_runs(get_kernel("fft"), 3)
+        g = sequence_graph(runs)
+        for n in (2, 3):
+            actual = window_space_size(runs, n)
+            budget = path_budget(g, n)
+            assert actual <= budget
+
+    def test_path_budget_seqlen_one(self):
+        run = run_program(get_kernel("lu"), seed=1)
+        g = sequence_graph([run])
+        assert path_budget(g, 1) == g.number_of_nodes()
+
+    def test_is_networkx_digraph(self):
+        run = run_program(get_kernel("lu"), seed=1)
+        assert isinstance(sequence_graph([run]), nx.DiGraph)

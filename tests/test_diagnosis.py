@@ -1,0 +1,67 @@
+"""End-to-end diagnosis tests."""
+
+import pytest
+
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import (
+    diagnose_failure,
+    diagnose_with_buffer_escalation,
+)
+from repro.workloads.registry import get_bug
+
+
+class TestTinyBugDiagnosis:
+    def test_root_cause_found_rank_one(self, tinybug, fast_config):
+        report = diagnose_failure(tinybug, config=fast_config,
+                                  n_train_runs=4, n_pruning_runs=6)
+        assert report.failed
+        assert report.found
+        assert report.rank == 1
+        assert report.debug_buffer_position == 1
+
+    def test_reuses_pretrained_model(self, tinybug, trained_tinybug):
+        report = diagnose_failure(tinybug, trained=trained_tinybug,
+                                  config=trained_tinybug.config,
+                                  n_pruning_runs=6)
+        assert report.found
+
+    def test_non_failing_run_reports_nothing(self, tinybug, fast_config):
+        report = diagnose_failure(tinybug, config=fast_config,
+                                  n_train_runs=3, n_pruning_runs=3,
+                                  failure_params={"buggy": False})
+        assert not report.failed
+        assert not report.found
+        assert report.notes
+
+    def test_findings_carry_outputs(self, tinybug, trained_tinybug):
+        report = diagnose_failure(tinybug, trained=trained_tinybug,
+                                  config=trained_tinybug.config,
+                                  n_pruning_runs=6)
+        for f in report.findings:
+            assert 0.0 <= f.output < 0.5
+
+
+class TestRealBugDiagnosis:
+    """Representative Table V bugs end-to-end (one per category)."""
+
+    @pytest.mark.parametrize("bug", ["mysql2", "gzip", "aget"])
+    def test_bug_diagnosed(self, bug):
+        report = diagnose_failure(get_bug(bug), config=ACTConfig(),
+                                  n_train_runs=8, n_pruning_runs=10)
+        assert report.failed
+        assert report.found, report.notes
+        assert report.rank <= 5
+
+    def test_mysql1_overflows_default_buffer(self):
+        report = diagnose_failure(get_bug("mysql1"), config=ACTConfig(),
+                                  n_train_runs=8, n_pruning_runs=10)
+        assert report.debug_overflowed
+        assert not report.found
+
+    def test_mysql1_found_with_escalated_buffer(self):
+        report, size = diagnose_with_buffer_escalation(
+            get_bug("mysql1"), config=ACTConfig(),
+            n_train_runs=8, n_pruning_runs=10)
+        assert size > 60
+        assert report.found
+        assert report.rank <= 5

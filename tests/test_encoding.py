@@ -1,0 +1,83 @@
+"""Tests for RAW-dependence encoding."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.encoding import DepEncoder
+from repro.trace.raw import RawDep
+from repro.workloads.framework import CodeMap
+
+
+class TestCodes:
+    def test_codes_in_open_unit_interval(self):
+        enc = DepEncoder(pcs=[0x10, 0x20, 0x30])
+        for pc in (0x10, 0x20, 0x30):
+            assert 0.0 < enc.code_of(pc) < 1.0
+
+    def test_codes_distinct_and_ordered(self):
+        enc = DepEncoder(pcs=[0x30, 0x10, 0x20])
+        codes = [enc.code_of(pc) for pc in (0x10, 0x20, 0x30)]
+        assert codes == sorted(codes)
+        assert len(set(codes)) == 3
+
+    def test_unseen_pc_hashes_deterministically(self):
+        enc = DepEncoder(pcs=[0x10])
+        a = enc.code_of(0xBEEF)
+        b = enc.code_of(0xBEEF)
+        assert a == b
+        assert 0.0 < a < 1.0
+
+    def test_needs_pcs(self):
+        with pytest.raises(ConfigError):
+            DepEncoder()
+        with pytest.raises(ConfigError):
+            DepEncoder(pcs=[])
+
+    def test_code_map_filters_to_memory_pcs(self):
+        cm = CodeMap()
+        ld = cm.load("l")
+        br = cm.branch("b")
+        st = cm.store("s")
+        enc = DepEncoder(code_map=cm)
+        assert enc.n_pcs == 2  # branch excluded
+        # memory pcs get grid codes; the branch falls back to hashing
+        assert enc.code_of(ld) in (1 / 3, 2 / 3)
+        assert enc.code_of(st) in (1 / 3, 2 / 3)
+
+
+class TestDepEncoding:
+    def test_inter_thread_flips_store_sign(self):
+        enc = DepEncoder(pcs=[0x10, 0x20])
+        intra = enc.encode_dep(RawDep(0x10, 0x20, inter_thread=False))
+        inter = enc.encode_dep(RawDep(0x10, 0x20, inter_thread=True))
+        assert intra[0] == -inter[0]
+        assert intra[1] == inter[1]
+
+    def test_sequence_vector_layout(self):
+        enc = DepEncoder(pcs=[0x10, 0x20, 0x30])
+        seq = (RawDep(0x10, 0x20), RawDep(0x30, 0x20))
+        v = enc.encode_seq(seq)
+        assert v.shape == (4,)
+        assert v[0] == enc.code_of(0x10)
+        assert v[2] == enc.code_of(0x30)
+
+    def test_encode_many_shape(self):
+        enc = DepEncoder(pcs=[0x10, 0x20])
+        seqs = [(RawDep(0x10, 0x20),)] * 5
+        xs = enc.encode_many(seqs)
+        assert xs.shape == (5, 2)
+
+    def test_encode_many_empty(self):
+        enc = DepEncoder(pcs=[0x10])
+        assert enc.encode_many([]).size == 0
+
+    def test_n_inputs(self):
+        enc = DepEncoder(pcs=[0x10])
+        assert enc.n_inputs(5) == 10
+
+    def test_distinct_deps_distinct_vectors(self):
+        enc = DepEncoder(pcs=[0x10, 0x20, 0x30, 0x40])
+        a = enc.encode_seq((RawDep(0x10, 0x20),))
+        b = enc.encode_seq((RawDep(0x30, 0x20),))
+        assert not np.allclose(a, b)

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts run end-to-end and tell the story
+they claim to tell."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart_diagnoses_gzip(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "Diagnosed: True" in out
+        assert "rank 1" in out
+        assert "S3_open_input_file" in out
+
+    def test_custom_workload_walkthrough(self, capsys):
+        out = _run("custom_workload.py", capsys)
+        assert "diagnosed: True" in out
+        assert "rank: 1" in out
+
+    def test_concurrency_bug_comparison(self, capsys):
+        out = _run("diagnose_concurrency_bug.py", capsys)
+        assert "[ACT]" in out and "[Aviso]" in out and "[PBI]" in out
+        assert "rank 1 from ONE failure run" in out
+
+    def test_adaptive_deployment(self, capsys):
+        out = _run("adaptive_deployment.py", capsys)
+        assert "PSet flagged" in out
+        assert "Second run" in out
+
+    def test_feedback_loop_closes(self, capsys):
+        out = _run("feedback_loop.py", capsys)
+        assert "failure undiagnosed" in out
+        assert "root cause logged: yes" in out

@@ -1,0 +1,75 @@
+"""Tests for the programmer negative-feedback path (Section III.C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ACTConfig
+from repro.core.offline import (
+    OfflineTrainer,
+    collect_correct_runs,
+    evaluate_false_positive_rate,
+    sequences_from_runs,
+)
+from repro.trace.raw import RawDep
+
+
+@pytest.fixture
+def trained_with_gap(tinybug):
+    """A model trained WITHOUT augmentation on a program whose traces
+    contain no before-last-store negatives either: trained purely on
+    positives, it predicts everything valid -- the scenario the
+    feedback path exists for."""
+    cfg = ACTConfig(seq_len=3)
+    trainer = OfflineTrainer(config=cfg, augment_negatives=False)
+    return trainer.train(tinybug, n_runs=4, buggy=False)
+
+
+def _missed_sequence(trained, program):
+    """An invalid sequence the network currently calls valid."""
+    runs = collect_correct_runs(program, 2, seed0=40, buggy=False)
+    pos, _ = sequences_from_runs(runs, trained.config.seq_len)
+    base = pos[0]
+    net = trained.make_network()
+    valid_pairs = {(d.store_pc, d.load_pc) for s in pos for d in s}
+    for wrong_store in range(0x2000, 0x2080, 4):
+        bad = RawDep(wrong_store, base[-1].load_pc)
+        if (bad.store_pc, bad.load_pc) in valid_pairs:
+            continue
+        seq = base[:-1] + (bad,)
+        if net.predict_valid(trained.encoder.encode_seq(seq)):
+            return seq
+    pytest.skip("network already rejects every synthetic invalid")
+
+
+class TestNegativeFeedback:
+    def test_feedback_flips_missed_sequence(self, trained_with_gap,
+                                            tinybug):
+        seq = _missed_sequence(trained_with_gap, tinybug)
+        n = trained_with_gap.train_negative_feedback([seq])
+        assert n >= 1
+        net = trained_with_gap.make_network()
+        assert not net.predict_valid(trained_with_gap.encoder.encode_seq(seq))
+
+    def test_rehearsal_preserves_false_positive_rate(self, trained_with_gap,
+                                                     tinybug):
+        seq = _missed_sequence(trained_with_gap, tinybug)
+        support = collect_correct_runs(tinybug, 3, seed0=60, buggy=False)
+        before = evaluate_false_positive_rate(trained_with_gap, support)
+        trained_with_gap.train_negative_feedback([seq],
+                                                 support_runs=support)
+        after = evaluate_false_positive_rate(trained_with_gap, support)
+        assert after <= before + 0.1
+
+    def test_empty_feedback_is_noop(self, trained_with_gap):
+        w = trained_with_gap.default_weights.copy()
+        assert trained_with_gap.train_negative_feedback([]) == 0
+        assert np.allclose(w, trained_with_gap.default_weights)
+
+    def test_all_weight_sets_updated(self, trained_with_gap, tinybug):
+        seq = _missed_sequence(trained_with_gap, tinybug)
+        trained_with_gap.record_thread_weights(
+            1, trained_with_gap.default_weights)
+        n = trained_with_gap.train_negative_feedback([seq])
+        assert n == 2  # default + thread 1
+        net = trained_with_gap.make_network(1)
+        assert not net.predict_valid(trained_with_gap.encoder.encode_seq(seq))

@@ -1,0 +1,110 @@
+"""Cross-layer integration tests: the pieces agree with each other."""
+
+import pytest
+
+from repro.core.config import ACTConfig
+from repro.core.deploy import deploy_on_run
+from repro.core.offline import (
+    OfflineTrainer,
+    collect_correct_runs,
+    evaluate_strict_false_negative_rate,
+    strict_invalid_sequences,
+)
+from repro.sim.machine import cache_dep_streams, simulate_run
+from repro.sim.params import MachineParams
+from repro.trace.raw import extract_raw_deps
+from repro.trace.trace_io import read_trace, write_trace
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_bug, get_kernel
+
+
+class TestTraceRoundtripThroughPipeline:
+    def test_serialized_trace_diagnoses_identically(self, tmp_path):
+        """A trace written to disk and read back yields the same deps."""
+        run = run_program(get_bug("ptx"), seed=12345, buggy=True)
+        path = tmp_path / "failure.jsonl"
+        write_trace(run, path)
+        back = read_trace(path)
+        orig = extract_raw_deps(run)
+        loaded = extract_raw_deps(back)
+        assert {t: [r.dep for r in s] for t, s in orig.items()} == \
+               {t: [r.dep for r in s] for t, s in loaded.items()}
+
+
+class TestSimVsSoftwareExtraction:
+    def test_ideal_hardware_matches_software_table(self):
+        """With word granularity + writeback + full piggyback, the cache
+        hierarchy reproduces the perfect extractor's dependences."""
+        run = run_program(get_kernel("ocean"), seed=2)
+        params = MachineParams(lw_word_granularity=True,
+                               lw_writeback_on_evict=True,
+                               lw_piggyback_dirty_only=False)
+        hw = cache_dep_streams(run, params)
+        sw = extract_raw_deps(run)
+        hw_map = {r.index: r.dep for s in hw.values() for r in s}
+        sw_map = {r.index: r.dep for s in sw.values() for r in s}
+        # hardware may drop cold-miss deps but never invents or corrupts
+        assert set(hw_map) <= set(sw_map)
+        for idx, dep in hw_map.items():
+            assert sw_map[idx] == dep
+
+    def test_machine_act_agrees_with_functional_deploy(self, trained_lu):
+        """The timing machine's AMs log the same number of invalid
+        windows as a functional replay (word-granularity hardware)."""
+        run = run_program(get_kernel("lu"), seed=5)
+        functional = deploy_on_run(trained_lu, run)
+        params = MachineParams(lw_word_granularity=True,
+                               lw_writeback_on_evict=True,
+                               lw_piggyback_dirty_only=False,
+                               n_cores=8)
+        result = simulate_run(run, params=params, trained=trained_lu)
+        machine_invalid = sum(m.stats.invalid_predictions
+                              for m in result.act_modules.values())
+        assert machine_invalid == functional.n_invalid
+
+
+class TestTrainedModelContracts:
+    def test_strict_invalids_disjoint_from_observed_valid(self, tinybug):
+        cfg = ACTConfig(seq_len=3)
+        runs = collect_correct_runs(tinybug, 4, buggy=False)
+        strict = strict_invalid_sequences(runs, cfg)
+        valid = {(d.store_pc, d.load_pc, d.inter_thread)
+                 for s in extract_raw_deps(runs[0]).values()
+                 for d in [r.dep for r in s]}
+        for seq in strict:
+            last = seq[-1]
+            assert (last.store_pc, last.load_pc, last.inter_thread) \
+                not in valid
+
+    def test_strict_fn_rate_low_on_trained_model(self, trained_tinybug,
+                                                 tinybug):
+        test_runs = collect_correct_runs(tinybug, 3, seed0=70, buggy=False)
+        rate, n = evaluate_strict_false_negative_rate(
+            trained_tinybug, test_runs)
+        assert n > 0
+        assert rate <= 0.3
+
+    def test_diagnosis_stable_across_failure_seeds(self, tinybug,
+                                                   trained_tinybug):
+        """Whatever interleaving triggers the failure, ACT finds it."""
+        from repro.core.diagnosis import diagnose_failure
+        for seed in (1, 99, 5000):
+            report = diagnose_failure(
+                tinybug, trained=trained_tinybug,
+                config=trained_tinybug.config, failure_seed=seed,
+                n_pruning_runs=6)
+            assert report.found
+            assert report.rank == 1
+
+
+class TestWholePipelineOnKernelBug:
+    def test_injected_kernel_bug_end_to_end(self):
+        from repro.core.diagnosis import diagnose_failure
+        report = diagnose_failure(
+            get_kernel("barnes"), config=ACTConfig(),
+            n_train_runs=6, n_pruning_runs=8,
+            failure_params={"inject": True, "new_code": True},
+            correct_params={"inject": False, "new_code": False},
+            pruning_params={"inject": False, "new_code": True})
+        assert report.found
+        assert report.filter_pct > 0.0

@@ -1,0 +1,110 @@
+"""Tests for the benchmark kernels."""
+
+import pytest
+
+from repro.trace.raw import extract_raw_deps
+from repro.workloads.framework import run_program
+from repro.workloads.registry import (
+    all_bug_names,
+    all_kernel_names,
+    get_bug,
+    get_kernel,
+)
+from repro.common.errors import ReproError
+
+ALL_KERNELS = all_kernel_names()
+INJECTABLE = ("lu", "fft", "barnes", "fluidanimate", "swaptions")
+MULTITHREADED = ("lu", "fft", "radix", "barnes", "ocean", "canneal",
+                 "fluidanimate", "streamcluster", "swaptions")
+SEQUENTIAL = ("bzip2", "mcf", "bc")
+
+
+class TestRegistry:
+    def test_all_kernels_registered(self):
+        # 12 benchmark kernels + 2 task-parallel programs
+        assert len(ALL_KERNELS) == 14
+        assert {"taskmapreduce", "taskgraphbug"} <= set(ALL_KERNELS)
+
+    def test_eleven_bugs_registered(self):
+        assert len(all_bug_names()) == 11
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ReproError):
+            get_kernel("nope")
+        with pytest.raises(ReproError):
+            get_bug("nope")
+
+
+class TestAllKernels:
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_runs_clean(self, name):
+        run = run_program(get_kernel(name), seed=1)
+        assert not run.failed
+        assert len(run.events) > 20
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_produces_dependences(self, name):
+        run = run_program(get_kernel(name), seed=1)
+        streams = extract_raw_deps(run)
+        assert sum(len(s) for s in streams.values()) > 5
+
+    @pytest.mark.parametrize("name", ALL_KERNELS)
+    def test_deterministic_per_seed(self, name):
+        a = run_program(get_kernel(name), seed=4)
+        b = run_program(get_kernel(name), seed=4)
+        assert [(e.tid, e.pc, e.addr) for e in a.events] == \
+               [(e.tid, e.pc, e.addr) for e in b.events]
+
+    @pytest.mark.parametrize("name", MULTITHREADED)
+    def test_inter_thread_communication_present(self, name):
+        run = run_program(get_kernel(name), seed=1)
+        streams = extract_raw_deps(run)
+        inter = sum(1 for s in streams.values()
+                    for r in s if r.dep.inter_thread)
+        assert inter > 0
+
+    @pytest.mark.parametrize("name", SEQUENTIAL)
+    def test_sequential_kernels_single_thread(self, name):
+        run = run_program(get_kernel(name), seed=1)
+        assert run.n_threads == 1
+
+    @pytest.mark.parametrize("name", SEQUENTIAL + ("radix", "canneal"))
+    def test_input_varies_with_seed(self, name):
+        a = run_program(get_kernel(name), seed=1)
+        b = run_program(get_kernel(name), seed=2)
+        sig_a = [(e.pc, e.addr) for e in a.events]
+        sig_b = [(e.pc, e.addr) for e in b.events]
+        assert sig_a != sig_b
+
+
+class TestInjectedBugs:
+    @pytest.mark.parametrize("name", INJECTABLE)
+    def test_inject_causes_failure_with_root_cause(self, name):
+        run = run_program(get_kernel(name), seed=1, inject=True)
+        assert run.failed
+        assert run.meta["root_cause"]
+
+    @pytest.mark.parametrize("name", INJECTABLE)
+    def test_clean_by_default(self, name):
+        run = run_program(get_kernel(name), seed=1)
+        assert run.meta["root_cause"] is None
+
+    @pytest.mark.parametrize("name", INJECTABLE)
+    def test_root_cause_dep_occurs_in_failure_run(self, name):
+        run = run_program(get_kernel(name), seed=1, inject=True)
+        truth = run.meta["root_cause"]
+        streams = extract_raw_deps(run)
+        seen = {(r.dep.store_pc, r.dep.load_pc)
+                for s in streams.values() for r in s}
+        assert truth & seen
+
+    @pytest.mark.parametrize("name", INJECTABLE)
+    def test_new_code_uses_different_pcs(self, name):
+        old = run_program(get_kernel(name), seed=1, new_code=False)
+        new = run_program(get_kernel(name), seed=1, new_code=True)
+        assert {e.pc for e in old.events} != {e.pc for e in new.events}
+
+    @pytest.mark.parametrize("name", INJECTABLE)
+    def test_legacy_variant_runs_clean(self, name):
+        run = run_program(get_kernel(name), seed=1, new_code=False)
+        assert not run.failed

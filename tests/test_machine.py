@@ -1,0 +1,106 @@
+"""Tests for the trace-driven timing machine."""
+
+import pytest
+
+from repro.core.config import ACTConfig
+from repro.sim.machine import (
+    annotate_run,
+    cache_dep_streams,
+    measure_overhead,
+    simulate_run,
+)
+from repro.sim.params import MachineParams
+from repro.trace.events import EventKind
+from repro.trace.raw import extract_raw_deps
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+@pytest.fixture(scope="module")
+def lu_run():
+    return run_program(get_kernel("lu"), seed=3)
+
+
+class TestBaseTiming:
+    def test_cycles_positive_and_deterministic(self, lu_run):
+        a = simulate_run(lu_run)
+        b = simulate_run(lu_run)
+        assert a.cycles > 0
+        assert a.cycles == b.cycles
+
+    def test_per_core_clocks(self, lu_run):
+        res = simulate_run(lu_run, params=MachineParams(n_cores=4))
+        assert res.cycles == int(max(res.core_cycles.values()))
+
+    def test_cache_latency_matters(self, lu_run):
+        fast = simulate_run(lu_run, params=MachineParams(l1_latency=2))
+        slow = simulate_run(lu_run, params=MachineParams(l1_latency=40))
+        assert slow.cycles > fast.cycles
+
+    def test_mem_stats_propagated(self, lu_run):
+        res = simulate_run(lu_run)
+        assert res.mem_stats["loads"] > 0
+
+
+class TestACTOverhead:
+    def test_overhead_non_negative(self, lu_run, trained_lu):
+        overhead, base, act = measure_overhead(lu_run, trained_lu)
+        assert overhead >= 0.0
+        assert act.cycles >= base.cycles
+
+    def test_slow_pipeline_stalls_more(self, trained_lu):
+        run = run_program(get_kernel("lu"), seed=3, nb=6, block=8)
+        cfg = trained_lu.config
+        slow = simulate_run(run, trained=trained_lu,
+                            act_config=cfg.with_(muladd_units=1,
+                                                 fifo_depth=4))
+        fast = simulate_run(run, trained=trained_lu,
+                            act_config=cfg.with_(muladd_units=10,
+                                                 fifo_depth=16))
+        assert slow.deps_stalled >= fast.deps_stalled
+        assert slow.cycles >= fast.cycles
+
+    def test_deps_offered_matches_predictions(self, lu_run, trained_lu):
+        res = simulate_run(lu_run, trained=trained_lu)
+        assert res.deps_offered > 0
+        assert res.deps_stalled <= res.deps_offered
+        assert res.act_modules  # modules were instantiated
+
+
+class TestAnnotate:
+    def test_alignment_with_events(self, lu_run):
+        ann = annotate_run(lu_run)
+        assert len(ann) == len(lu_run.events)
+        for event, res in zip(lu_run.events, ann):
+            if event.kind.is_memory():
+                assert res is not None
+                assert res.state_before in "MESI"
+            else:
+                assert res is None
+
+
+class TestCacheDepStreams:
+    def test_word_granularity_subset_of_perfect(self, lu_run):
+        """With per-word metadata the hardware deps match the perfect
+        table wherever a dependence forms at all (cold misses and
+        piggyback policy can only *drop* deps, not corrupt them)."""
+        params = MachineParams(lw_word_granularity=True,
+                               lw_writeback_on_evict=True,
+                               lw_piggyback_dirty_only=False)
+        perfect = extract_raw_deps(lu_run)
+        truth = {}
+        for stream in perfect.values():
+            for rec in stream:
+                truth[rec.index] = rec.dep
+        cache = cache_dep_streams(lu_run, params)
+        n = 0
+        for stream in cache.values():
+            for rec in stream:
+                assert truth.get(rec.index) == rec.dep
+                n += 1
+        assert n > 0
+
+    def test_line_granularity_produces_streams(self, lu_run):
+        params = MachineParams(lw_word_granularity=False)
+        cache = cache_dep_streams(lu_run, params)
+        assert sum(len(s) for s in cache.values()) > 0

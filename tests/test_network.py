@@ -1,0 +1,170 @@
+"""Tests for the one-hidden-layer network and sigmoid table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.nn.network import OneHiddenLayerNet, SigmoidTable
+
+
+class TestSigmoidTable:
+    def test_matches_exact_sigmoid(self):
+        table = SigmoidTable(resolution=4096)
+        xs = np.linspace(-7.5, 7.5, 101)
+        exact = 1.0 / (1.0 + np.exp(-xs))
+        assert np.max(np.abs(table(xs) - exact)) < 1e-2
+
+    def test_saturates_outside_clip(self):
+        table = SigmoidTable(clip=8.0)
+        assert table(100.0) == pytest.approx(1.0, abs=1e-3)
+        assert table(-100.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_midpoint(self):
+        table = SigmoidTable(resolution=4097)
+        assert float(table(0.0)) == pytest.approx(0.5, abs=1e-3)
+
+    def test_resolution_validation(self):
+        with pytest.raises(ConfigError):
+            SigmoidTable(resolution=1)
+
+    def test_vectorised(self):
+        table = SigmoidTable()
+        out = table(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+
+class TestNetworkStructure:
+    def test_input_bounds_enforced(self):
+        with pytest.raises(ConfigError):
+            OneHiddenLayerNet(11, 5)
+        with pytest.raises(ConfigError):
+            OneHiddenLayerNet(0, 5)
+        with pytest.raises(ConfigError):
+            OneHiddenLayerNet(5, 11)
+
+    def test_weight_register_count(self):
+        net = OneHiddenLayerNet(4, 3)
+        # hidden: 3 x (4+1), output: 3+1
+        assert net.n_weight_registers == 15 + 4
+
+    def test_weight_roundtrip(self):
+        net = OneHiddenLayerNet(4, 3, seed=1)
+        flat = net.read_weights()
+        net2 = OneHiddenLayerNet(4, 3, seed=2)
+        net2.write_weights(flat)
+        x = np.ones(4) * 0.3
+        assert net.output(x) == pytest.approx(net2.output(x))
+
+    def test_write_weights_size_checked(self):
+        net = OneHiddenLayerNet(4, 3)
+        with pytest.raises(ConfigError):
+            net.write_weights(np.zeros(7))
+
+    def test_clone_independent(self):
+        net = OneHiddenLayerNet(4, 3, seed=1)
+        clone = net.clone()
+        x = np.full(4, 0.2)
+        before = clone.output(x)
+        net.train_example(x, 1.0, lr=0.5)
+        assert clone.output(x) == pytest.approx(before)
+
+    def test_read_weights_returns_copy(self):
+        net = OneHiddenLayerNet(2, 2, seed=0)
+        flat = net.read_weights()
+        flat[:] = 0
+        assert net.read_weights().any()
+
+
+class TestInference:
+    def test_output_in_unit_interval(self):
+        net = OneHiddenLayerNet(6, 4, seed=3)
+        for _ in range(10):
+            x = np.random.default_rng(1).random(6)
+            assert 0.0 <= net.output(x) <= 1.0
+
+    def test_margin_sign_convention(self):
+        net = OneHiddenLayerNet(2, 2, seed=0)
+        x = np.zeros(2)
+        o = net.output(x)
+        assert net.margin(x) == pytest.approx(o - 0.5)
+        assert net.predict_valid(x) == (o >= 0.5)
+
+    def test_predict_batch_matches_forward(self):
+        net = OneHiddenLayerNet(4, 5, seed=9)
+        xs = np.random.default_rng(2).random((8, 4))
+        batch = net.predict_batch(xs)
+        single = np.array([net.output(x) for x in xs])
+        assert np.allclose(batch, single)
+
+    def test_predict_batch_requires_2d(self):
+        net = OneHiddenLayerNet(4, 5)
+        with pytest.raises(ConfigError):
+            net.predict_batch(np.zeros(4))
+
+    @given(st.lists(st.floats(-1, 1), min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_output_bounded_for_any_input(self, vals):
+        net = OneHiddenLayerNet(4, 4, seed=5)
+        out = net.output(np.array(vals))
+        assert 0.0 <= out <= 1.0
+
+
+class TestLearning:
+    def test_train_example_moves_output_toward_target(self):
+        net = OneHiddenLayerNet(3, 4, seed=2)
+        x = np.array([0.3, 0.6, 0.9])
+        before = net.output(x)
+        for _ in range(50):
+            net.train_example(x, 0.9, lr=0.5)
+        after = net.output(x)
+        assert abs(after - 0.9) < abs(before - 0.9)
+
+    def test_train_toward_invalid(self):
+        net = OneHiddenLayerNet(3, 4, seed=2)
+        x = np.array([0.5, 0.1, 0.8])
+        for _ in range(100):
+            net.train_example(x, 0.1, lr=0.5)
+        assert net.output(x) < 0.5
+
+    def test_can_separate_two_points(self):
+        net = OneHiddenLayerNet(2, 4, seed=4)
+        a = np.array([0.2, 0.2])
+        b = np.array([0.8, 0.8])
+        for _ in range(300):
+            net.train_example(a, 0.9, lr=0.5)
+            net.train_example(b, 0.1, lr=0.5)
+        assert net.predict_valid(a)
+        assert not net.predict_valid(b)
+
+    def test_train_returns_pre_update_output(self):
+        net = OneHiddenLayerNet(2, 2, seed=1)
+        x = np.array([0.4, 0.4])
+        before = net.output(x)
+        returned = net.train_example(x, 0.9, lr=0.2)
+        assert returned == pytest.approx(before)
+
+
+class TestCrossEntropyRule:
+    def test_escapes_saturation(self):
+        """The plain sigmoid rule stalls on a confidently-wrong
+        prediction; the cross-entropy rule does not."""
+        net = OneHiddenLayerNet(2, 3, seed=1)
+        x = np.array([0.4, 0.6])
+        # saturate the network toward "valid"
+        for _ in range(2000):
+            net.train_example(x, 0.999, lr=1.0)
+        assert net.output(x) > 0.98
+        stuck = net.clone()
+        for _ in range(200):
+            stuck.train_example(x, 0.1, lr=0.2)
+        for _ in range(200):
+            net.train_example_ce(x, 0.1, lr=0.2)
+        assert net.output(x) < 0.5
+        assert net.output(x) < stuck.output(x)
+
+    def test_returns_pre_update_output(self):
+        net = OneHiddenLayerNet(2, 2, seed=3)
+        x = np.array([0.2, 0.8])
+        before = net.output(x)
+        assert net.train_example_ce(x, 0.1, lr=0.1) == pytest.approx(before)

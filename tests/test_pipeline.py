@@ -1,0 +1,138 @@
+"""Tests for the NN pipeline timing model and the time-mux baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.nn.pipeline import ACTPipelineModel, NeuronTiming
+from repro.nn.timemux import TimeMultiplexedModel, compare_designs
+
+
+class TestNeuronTiming:
+    def test_latency_formula(self):
+        # ceil(10/2)*1 + 2 = 7
+        assert NeuronTiming(muladd_units=2).neuron_latency() == 7
+        assert NeuronTiming(muladd_units=1).neuron_latency() == 12
+        assert NeuronTiming(muladd_units=5).neuron_latency() == 4
+        assert NeuronTiming(muladd_units=10).neuron_latency() == 3
+
+    def test_more_units_never_slower(self):
+        lats = [NeuronTiming(muladd_units=x).neuron_latency()
+                for x in (1, 2, 5, 10)]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NeuronTiming(muladd_units=0)
+        with pytest.raises(ConfigError):
+            NeuronTiming(muladd_units=11)
+
+
+class TestPipelineModel:
+    def test_accepts_when_empty(self):
+        pipe = ACTPipelineModel(fifo_depth=4)
+        accepted, retry = pipe.offer(0)
+        assert accepted and retry == 0
+
+    def test_training_interval_is_4t(self):
+        pipe = ACTPipelineModel()
+        assert pipe.service_interval(training=True) == \
+            4 * pipe.service_interval(training=False)
+
+    def test_back_to_back_fills_fifo(self):
+        pipe = ACTPipelineModel(fifo_depth=2)
+        t = pipe.latency
+        # one in service + 2 queued = full at cycle 0
+        assert pipe.offer(0)[0]
+        assert pipe.offer(0)[0]
+        assert pipe.offer(0)[0]
+        accepted, retry = pipe.offer(0)
+        assert not accepted
+        assert retry > 0
+
+    def test_retry_cycle_frees_slot(self):
+        pipe = ACTPipelineModel(fifo_depth=1)
+        assert pipe.offer(0)[0]
+        assert pipe.offer(0)[0]
+        accepted, retry = pipe.offer(0)
+        assert not accepted
+        accepted2, _ = pipe.offer(retry)
+        assert accepted2
+
+    def test_slow_arrivals_never_stall(self):
+        pipe = ACTPipelineModel(fifo_depth=1)
+        t = pipe.service_interval(False)
+        cycle = 0
+        for _ in range(20):
+            accepted, _ = pipe.offer(cycle)
+            assert accepted
+            cycle += t + 1
+
+    def test_counters(self):
+        pipe = ACTPipelineModel(fifo_depth=1)
+        pipe.offer(0)
+        pipe.offer(0)
+        pipe.offer(0)  # rejected
+        assert pipe.accepted == 2
+        assert pipe.rejected == 1
+
+    def test_reset(self):
+        pipe = ACTPipelineModel(fifo_depth=1)
+        pipe.offer(0)
+        pipe.reset()
+        assert pipe.accepted == 0
+        assert pipe.offer(0)[0]
+
+    def test_completion_after_three_stages(self):
+        pipe = ACTPipelineModel()
+        pipe.offer(10)
+        assert pipe.completion_cycle() == 10 + 1 + 2 * pipe.latency
+
+    def test_fifo_depth_validation(self):
+        with pytest.raises(ConfigError):
+            ACTPipelineModel(fifo_depth=0)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=60),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_depth(self, gaps, depth):
+        pipe = ACTPipelineModel(fifo_depth=depth)
+        cycle = 0
+        for gap in gaps:
+            cycle += gap
+            accepted, retry = pipe.offer(cycle)
+            if not accepted:
+                cycle = retry
+                accepted2, _ = pipe.offer(cycle)
+                assert accepted2
+            assert pipe.occupancy(cycle) <= depth
+
+
+class TestTimeMux:
+    def test_rounds(self):
+        mux = TimeMultiplexedModel(n_pe=8)
+        assert mux.rounds(8) == 2   # one hidden round + output
+        assert mux.rounds(10) == 3
+
+    def test_latency_grows_with_hidden(self):
+        mux = TimeMultiplexedModel(n_pe=8)
+        assert mux.input_latency(10) > mux.input_latency(4)
+
+    def test_no_pipelining(self):
+        mux = TimeMultiplexedModel()
+        assert mux.steady_state_interval(10) == mux.input_latency(10)
+
+    def test_throughput_inverse_of_interval(self):
+        mux = TimeMultiplexedModel()
+        assert mux.throughput(10) == pytest.approx(
+            1.0 / mux.steady_state_interval(10))
+
+    def test_act_beats_mux_on_throughput(self):
+        for x in (1, 2, 5, 10):
+            metrics = compare_designs(NeuronTiming(muladd_units=x))
+            assert metrics["act_test_interval"] < metrics["mux_test_interval"]
+
+    def test_compare_designs_keys(self):
+        m = compare_designs()
+        assert {"act_input_latency", "mux_input_latency",
+                "act_train_interval", "mux_train_interval"} <= set(m)

@@ -1,0 +1,146 @@
+"""Tests for pruning and ranking."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffers import DebugEntry
+from repro.core.postprocess import CorrectSet, postprocess
+from repro.trace.raw import RawDep
+
+
+def _dep(i, j=None):
+    return RawDep(0x10 + 4 * i, 0x100 + 4 * (j if j is not None else i))
+
+
+def _entry(seq, output=0.2, index=0, tid=0):
+    return DebugEntry(seq=tuple(seq), output=output, index=index, tid=tid)
+
+
+def _correct(*seqs, n=3):
+    cs = CorrectSet(n)
+    cs.add_sequences([tuple(s) for s in seqs])
+    return cs
+
+
+class TestCorrectSet:
+    def test_contains_exact_sequence(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        assert cs.contains((_dep(1), _dep(2), _dep(3)))
+        assert not cs.contains((_dep(1), _dep(2), _dep(4)))
+
+    def test_matched_prefix(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        assert cs.matched_prefix((_dep(1), _dep(2), _dep(4))) == 2
+        assert cs.matched_prefix((_dep(9), _dep(2), _dep(3))) == 0
+        assert cs.matched_prefix((_dep(1), _dep(2), _dep(3))) == 3
+
+    def test_matched_prefix_takes_best_branch(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)],
+                      [_dep(1), _dep(5), _dep(6)])
+        assert cs.matched_prefix((_dep(1), _dep(5), _dep(9))) == 2
+
+    def test_duplicate_sequences_counted_once(self):
+        cs = CorrectSet(2)
+        cs.add_sequences([(_dep(1), _dep(2))] * 3)
+        assert len(cs) == 1
+
+    def test_add_run(self, tinybug):
+        from repro.workloads.framework import run_program
+        run = run_program(tinybug, seed=0)
+        cs = CorrectSet(2)
+        cs.add_run(run)
+        assert len(cs) > 0
+
+
+class TestPostprocess:
+    def test_pruning_removes_correct_sequences(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        entries = [
+            _entry([_dep(1), _dep(2), _dep(3)]),          # pruned
+            _entry([_dep(1), _dep(2), _dep(7)], index=1),  # kept
+        ]
+        result = postprocess(entries, cs)
+        assert result.n_pruned == 1
+        assert len(result.findings) == 1
+        assert result.filter_pct == 50.0
+
+    def test_paper_ranking_example(self):
+        """Section III.D's worked example."""
+        A = [_dep(i, 100 + i) for i in range(8)]
+        B = [_dep(20 + i, 200 + i) for i in range(4)]
+        cs = _correct([A[1], A[2], A[3]], [B[1], B[2], B[3]])
+        entries = [
+            _entry([A[1], A[2], A[4]], output=0.3, index=0),
+            _entry([B[1], B[2], B[3]], output=0.1, index=1),
+            _entry([A[1], A[5], A[6]], output=0.2, index=2),
+        ]
+        result = postprocess(entries, cs)
+        # (B1,B2,B3) pruned; (A1,A2,A4) has 2 matches > (A1,A5,A6) with 1
+        assert result.n_pruned == 1
+        assert result.findings[0].seq == (A[1], A[2], A[4])
+        assert result.findings[0].matched == 2
+        assert result.findings[1].matched == 1
+
+    def test_tie_broken_by_most_negative_output(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        entries = [
+            _entry([_dep(1), _dep(2), _dep(7)], output=0.4, index=0),
+            _entry([_dep(1), _dep(2), _dep(8)], output=0.1, index=1),
+        ]
+        result = postprocess(entries, cs)
+        assert result.findings[0].output == 0.1
+
+    def test_dedupe_keeps_most_negative(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        seq = [_dep(1), _dep(2), _dep(9)]
+        entries = [_entry(seq, output=0.4, index=0),
+                   _entry(seq, output=0.05, index=1)]
+        result = postprocess(entries, cs)
+        assert len(result.findings) == 1
+        assert result.findings[0].output == 0.05
+
+    def test_dedupe_disabled(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        seq = [_dep(1), _dep(2), _dep(9)]
+        entries = [_entry(seq, index=0), _entry(seq, index=1)]
+        result = postprocess(entries, cs, dedupe=False)
+        assert len(result.findings) == 2
+
+    def test_mismatch_dep(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        entries = [_entry([_dep(1), _dep(7), _dep(8)])]
+        result = postprocess(entries, cs)
+        assert result.findings[0].mismatch_dep == _dep(7)
+
+    def test_rank_of_dep_suffix_semantics(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        entries = [_entry([_dep(1), _dep(7), _dep(8)])]
+        result = postprocess(entries, cs)
+        # dep 8 is in the mismatched suffix even though dep 7 is the
+        # first mismatch
+        assert result.rank_of_dep({(_dep(8).store_pc, _dep(8).load_pc)}) == 1
+        # dep 1 matched the correct prefix; it is not part of the suffix
+        assert result.rank_of_dep({(_dep(1).store_pc, _dep(1).load_pc)}) is None
+
+    def test_empty_input(self):
+        cs = _correct([_dep(1), _dep(2), _dep(3)])
+        result = postprocess([], cs)
+        assert result.findings == []
+        assert result.filter_pct == 0.0
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                              st.integers(0, 5)), min_size=0, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_findings_disjoint_from_pruned_and_sorted(self, raw):
+        cs = _correct([_dep(1), _dep(2), _dep(3)],
+                      [_dep(2), _dep(3), _dep(4)])
+        entries = [_entry([_dep(a), _dep(b), _dep(c)], output=0.1 * a,
+                          index=i)
+                   for i, (a, b, c) in enumerate(raw)]
+        result = postprocess(entries, cs)
+        assert result.n_pruned + len(
+            {e.seq for e in entries} -
+            {f.seq for f in result.findings}) >= result.n_pruned
+        for f in result.findings:
+            assert not cs.contains(f.seq)
+        matches = [f.matched for f in result.findings]
+        assert matches == sorted(matches, reverse=True)

@@ -1,0 +1,79 @@
+"""Tests for the task-parallel model (the paper's deferred future work)."""
+
+import pytest
+
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.trace.raw import extract_raw_deps
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+class TestTaskPool:
+    def test_all_tasks_execute_exactly_once(self):
+        run = run_program(get_kernel("taskmapreduce"), seed=3)
+        assert not run.failed
+        streams = extract_raw_deps(run)
+        # the reduce task stores the total exactly once
+        code_map = run.code_map
+        total_pc = code_map.pc_of("reduce_store_total", "reduce_task")
+        stores = [e for e in run.events if e.pc == total_pc]
+        assert len(stores) == 1
+
+    def test_task_to_worker_mapping_varies_with_schedule(self):
+        """The same task runs on different workers across seeds --
+        the property that breaks per-thread invariant schemes."""
+        code_map = None
+        owners = set()
+        for seed in range(10):
+            run = run_program(get_kernel("taskmapreduce"), seed=seed)
+            code_map = run.code_map
+            pc = code_map.pc_of("reduce_store_total", "reduce_task")
+            tid = next(e.tid for e in run.events if e.pc == pc)
+            owners.add(tid)
+        assert len(owners) > 1
+
+    def test_reduce_reads_every_map_partial(self):
+        run = run_program(get_kernel("taskmapreduce"), seed=1, n_maps=3)
+        pc = run.code_map.pc_of("reduce_load_partial", "reduce_task")
+        loads = [e for e in run.events if e.pc == pc]
+        assert len(loads) == 3
+
+    def test_more_workers_still_correct(self):
+        run = run_program(get_kernel("taskmapreduce"), seed=5, n_workers=4)
+        assert not run.failed
+
+
+class TestTaskGraphBug:
+    def test_correct_runs_clean(self):
+        for seed in range(8):
+            run = run_program(get_kernel("taskgraphbug"), seed=seed)
+            assert not run.failed
+
+    def test_buggy_run_fails_with_root_cause(self):
+        run = run_program(get_kernel("taskgraphbug"), seed=9, buggy=True)
+        assert run.failed
+        assert run.meta["root_cause"]
+
+    def test_act_diagnoses_task_parallel_bug(self):
+        """Pooled (pattern-based) weights diagnose the bug regardless of
+        which worker executed the racing tasks."""
+        report = diagnose_failure(get_kernel("taskgraphbug"),
+                                  config=ACTConfig(),
+                                  n_train_runs=8, n_pruning_runs=12)
+        assert report.failed
+        assert report.found
+        assert report.rank <= 3
+
+    def test_diagnosis_robust_to_task_placement(self):
+        """Different failure seeds put producer/consumer on different
+        workers; diagnosis succeeds either way."""
+        from repro.core.offline import OfflineTrainer
+        cfg = ACTConfig()
+        trained = OfflineTrainer(config=cfg).train(
+            get_kernel("taskgraphbug"), n_runs=8, buggy=False)
+        for seed in (7, 21):
+            report = diagnose_failure(get_kernel("taskgraphbug"),
+                                      config=cfg, trained=trained,
+                                      failure_seed=seed, n_pruning_runs=8)
+            assert report.found, seed

@@ -1,0 +1,96 @@
+"""Tests for the Section IV.C thread-library model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.core.thread_library import ACTThreadLibrary, ThreadId
+
+
+@pytest.fixture
+def lib(trained_tinybug):
+    return ACTThreadLibrary(trained_tinybug)
+
+
+class TestThreadIds:
+    def test_spawn_order_is_stable_identity(self, lib):
+        a = lib.spawn()
+        b = lib.spawn()
+        assert a == ThreadId(None, 0)
+        assert b == ThreadId(None, 1)
+
+    def test_children_namespaced_by_parent(self, lib):
+        parent = lib.spawn()
+        child0 = lib.spawn(parent)
+        child1 = lib.spawn(parent)
+        assert child0.parent == parent.key()
+        assert child0.spawn_index == 0
+        assert child1.spawn_index == 1
+
+    def test_same_order_same_ids_across_instances(self, trained_tinybug):
+        lib1 = ACTThreadLibrary(trained_tinybug)
+        lib2 = ACTThreadLibrary(trained_tinybug)
+        assert lib1.spawn() == lib2.spawn()
+
+
+class TestLifecycle:
+    def test_create_without_saved_weights_uses_default(self, lib):
+        t = lib.spawn()
+        module = lib.on_thread_create(t)
+        assert lib.stats["chkwt_misses"] == 1
+        assert np.allclose(module.save_weights(),
+                           lib.trained.default_weights)
+
+    def test_create_with_saved_weights_restores_them(self, lib):
+        t = lib.spawn()
+        custom = lib.trained.default_weights * 0.5
+        lib.trained.weights[t.key()] = custom
+        module = lib.on_thread_create(t)
+        assert lib.stats["chkwt_hits"] == 1
+        assert np.allclose(module.save_weights(), custom)
+
+    def test_double_create_rejected(self, lib):
+        t = lib.spawn()
+        lib.on_thread_create(t)
+        with pytest.raises(ReproError):
+            lib.on_thread_create(t)
+
+    def test_exit_logs_weights(self, lib):
+        t = lib.spawn()
+        module = lib.on_thread_create(t)
+        module.net.w_out[:] = 0.123
+        lib.on_thread_exit(t)
+        assert t.key() in lib.exit_log
+        assert t.key() not in lib.live_threads()
+
+    def test_exit_of_unknown_thread_rejected(self, lib):
+        with pytest.raises(ReproError):
+            lib.on_thread_exit(ThreadId(None, 99))
+
+    def test_patch_binary_feeds_next_execution(self, lib):
+        t = lib.spawn()
+        module = lib.on_thread_create(t)
+        module.net.w_out[:] = 0.777
+        trained_weights = module.save_weights()
+        lib.on_thread_exit(t)
+        assert lib.patch_binary() == 1
+        # "Next execution": chkwt now hits.
+        t2 = ThreadId(None, 0)
+        module2 = lib.on_thread_create(t2)
+        assert np.allclose(module2.save_weights(), trained_weights)
+
+
+class TestContextSwitch:
+    def test_weights_migrate_and_buffers_flush(self, lib, trained_tinybug):
+        from repro.trace.raw import RawDep
+        t = lib.spawn()
+        src = lib.on_thread_create(t)
+        src.net.w_out[:] = 0.42
+        src.process_dep(RawDep(0x10, 0x20))
+        dst = trained_tinybug.make_module(1)
+        moved = lib.context_switch(t, src, dst)
+        assert moved is dst
+        assert np.allclose(dst.save_weights(), src.save_weights())
+        assert len(dst.input_buffer) == 0
+        assert len(src.input_buffer) == 0
+        assert lib.stats["switches"] == 1

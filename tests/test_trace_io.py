@@ -1,0 +1,61 @@
+"""Tests for trace serialisation."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace.events import EventKind, TraceEvent, TraceRun
+from repro.trace.trace_io import read_trace, write_trace
+
+
+def _sample_run():
+    events = [
+        TraceEvent(0, 0x1000, EventKind.STORE, addr=64),
+        TraceEvent(1, 0x1004, EventKind.LOAD, addr=64),
+        TraceEvent(0, 0x1008, EventKind.LOAD, addr=0x7FFF0000, is_stack=True),
+        TraceEvent(1, 0x100C, EventKind.BRANCH, taken=True),
+        TraceEvent(0, 0x1010, EventKind.ALU),
+    ]
+    return TraceRun(events=events, n_threads=2, seed=99)
+
+
+class TestRoundTrip:
+    def test_events_survive(self, tmp_path):
+        run = _sample_run()
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path)
+        back = read_trace(path)
+        assert len(back.events) == len(run.events)
+        for a, b in zip(run.events, back.events):
+            assert (a.tid, a.pc, a.kind, a.addr, a.is_stack, a.taken) == \
+                   (b.tid, b.pc, b.kind, b.addr, b.is_stack, b.taken)
+
+    def test_header_survives(self, tmp_path):
+        run = _sample_run()
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path)
+        back = read_trace(path)
+        assert back.n_threads == 2
+        assert back.seed == 99
+        assert back.failed is False
+
+    def test_failed_flag(self, tmp_path):
+        run = _sample_run()
+        run.failed = True
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path)
+        assert read_trace(path).failed is True
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"version": 999, "failed": false, '
+                        '"n_threads": 1, "seed": 0}\n')
+        with pytest.raises(TraceError):
+            read_trace(path)

@@ -1,0 +1,42 @@
+"""Tests for workload profiling."""
+
+from repro.sim.trace_stats import profile_run, profile_table
+from repro.workloads.framework import run_program
+from repro.workloads.registry import get_kernel
+
+
+class TestProfile:
+    def test_event_counts_add_up(self):
+        run = run_program(get_kernel("lu"), seed=1)
+        p = profile_run(run)
+        assert p.loads + p.stores + p.branches + p.alu == p.events
+        assert p.events == len(run.events)
+
+    def test_dep_counts_consistent(self):
+        run = run_program(get_kernel("fft"), seed=1)
+        p = profile_run(run)
+        assert 0 < p.unique_deps <= p.dynamic_deps
+
+    def test_inter_thread_share_for_mt_kernel(self):
+        run = run_program(get_kernel("ocean"), seed=1)
+        p = profile_run(run)
+        assert p.n_threads == 2
+        assert p.inter_thread_pct > 0.0
+        assert p.shared_addresses > 0
+
+    def test_sequential_kernel_has_no_sharing(self):
+        run = run_program(get_kernel("mcf"), seed=1)
+        p = profile_run(run)
+        assert p.inter_thread_pct == 0.0
+        assert p.shared_addresses == 0
+        assert p.multi_writer_lines == 0
+
+    def test_memory_pct_bounds(self):
+        run = run_program(get_kernel("bc"), seed=1)
+        p = profile_run(run)
+        assert 0.0 < p.memory_pct <= 100.0
+
+    def test_table_rendering(self):
+        runs = [run_program(get_kernel(k), seed=1) for k in ("lu", "mcf")]
+        out = profile_table([profile_run(r) for r in runs])
+        assert "lu" in out and "mcf" in out and "Inter %" in out

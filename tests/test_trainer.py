@@ -1,0 +1,120 @@
+"""Tests for offline training and topology search."""
+
+import numpy as np
+import pytest
+
+from repro.nn.trainer import (
+    TrainConfig,
+    evaluate_misprediction,
+    search_topology,
+    train_network,
+)
+
+
+def _blobs(n_per=20, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(0.25, 0.05, size=(n_per, dim))
+    neg = rng.normal(0.75, 0.05, size=(n_per, dim))
+    return pos, neg
+
+
+class TestTrainNetwork:
+    def test_fits_separable_blobs(self):
+        pos, neg = _blobs()
+        result = train_network(pos, neg, n_hidden=4)
+        assert result.train_error == 0.0
+
+    def test_margin_reported(self):
+        pos, neg = _blobs()
+        result = train_network(pos, neg, n_hidden=4)
+        assert result.worst_margin > 0.0
+
+    def test_counts_are_original_not_balanced(self):
+        pos, neg = _blobs()
+        result = train_network(pos, neg[:5], n_hidden=4)
+        assert result.n_positives == len(pos)
+        assert result.n_negatives == 5
+
+    def test_deterministic_given_seed(self):
+        pos, neg = _blobs()
+        cfg = TrainConfig(seed=3)
+        r1 = train_network(pos, neg, 4, config=cfg)
+        r2 = train_network(pos, neg, 4, config=cfg)
+        assert np.allclose(r1.net.read_weights(), r2.net.read_weights())
+
+    def test_no_negatives_trains_positive_only(self):
+        pos, _ = _blobs()
+        result = train_network(pos, None, n_hidden=3)
+        out = result.net.predict_batch(pos)
+        assert (out >= 0.5).all()
+
+    def test_sgd_mode_also_fits(self):
+        pos, neg = _blobs(n_per=10)
+        cfg = TrainConfig(batch=False, max_epochs=150, restarts=2)
+        result = train_network(pos, neg, n_hidden=4, config=cfg)
+        assert result.train_error <= 0.1
+
+    def test_balance_replicates_minority(self):
+        pos, neg = _blobs()
+        cfg = TrainConfig(balance_classes=True)
+        result = train_network(pos, neg[:2], n_hidden=4, config=cfg)
+        # still separates despite 20:2 imbalance
+        assert result.train_error == 0.0
+
+    def test_restart_improves_over_single(self):
+        pos, neg = _blobs(n_per=8, seed=5)
+        single = train_network(pos, neg, 2, config=TrainConfig(restarts=1,
+                                                               max_epochs=50))
+        multi = train_network(pos, neg, 2, config=TrainConfig(restarts=5,
+                                                              max_epochs=50))
+        assert (multi.train_error, -multi.worst_margin) <= \
+               (single.train_error, -single.worst_margin)
+
+
+class TestEvaluate:
+    def test_false_positive_only(self):
+        pos, neg = _blobs()
+        net = train_network(pos, neg, 4).net
+        assert evaluate_misprediction(net, pos, None) == 0.0
+
+    def test_false_negative_only(self):
+        pos, neg = _blobs()
+        net = train_network(pos, neg, 4).net
+        assert evaluate_misprediction(net, None, neg) == 0.0
+
+    def test_empty_sets(self):
+        pos, neg = _blobs()
+        net = train_network(pos, neg, 4).net
+        assert evaluate_misprediction(net, None, None) == 0.0
+
+    def test_mixed_rate(self):
+        pos, neg = _blobs()
+        net = train_network(pos, neg, 4).net
+        # flip labels: everything is mispredicted
+        rate = evaluate_misprediction(net, neg, pos)
+        assert rate == 1.0
+
+
+class TestSearchTopology:
+    def test_selects_lowest_misprediction(self):
+        sets = {}
+        for n in (1, 2):
+            dim = 2 * n
+            pos, neg = _blobs(dim=dim, seed=n)
+            sets[n] = (pos, neg, pos, neg)
+        best, choices = search_topology(sets, hidden_widths=(2, 4))
+        assert len(choices) == 4
+        assert best.mispred_rate == min(c.mispred_rate for c in choices)
+
+    def test_topology_string(self):
+        pos, neg = _blobs(dim=4)
+        best, _ = search_topology({2: (pos, neg, pos, neg)},
+                                  hidden_widths=(3,))
+        assert best.topology == "4-3-1"
+
+    def test_tie_prefers_capacity(self):
+        pos, neg = _blobs(dim=2, seed=1)
+        best, choices = search_topology({1: (pos, neg, pos, neg)},
+                                        hidden_widths=(2, 8))
+        tied = [c for c in choices if c.mispred_rate == best.mispred_rate]
+        assert best.n_hidden == max(c.n_hidden for c in tied)
