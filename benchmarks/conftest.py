@@ -4,6 +4,13 @@ Each benchmark regenerates one table or figure of the paper and writes
 the rendered rows to ``benchmarks/results/<name>.txt`` (and stdout).
 Scale is chosen with ``REPRO_PRESET`` (fast | bench | full); the
 default ``bench`` runs the paper protocol with a trimmed topology grid.
+
+A telemetry registry is installed for the whole benchmark session
+(disable with ``REPRO_TELEMETRY=0``): alongside each ``<name>.txt``,
+``save_result`` exports ``<name>.telemetry.json`` -- the counters,
+histograms and phase spans accumulated since the previous benchmark --
+so a perf regression in any table comes with its run profile attached.
+The rendered ``.txt`` tables themselves are unaffected either way.
 """
 
 import os
@@ -11,9 +18,14 @@ import pathlib
 
 import pytest
 
+from repro import telemetry
 from repro.analysis.presets import preset_from_env
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _telemetry_enabled():
+    return os.environ.get("REPRO_TELEMETRY", "1") != "0"
 
 
 @pytest.fixture(scope="session")
@@ -21,13 +33,34 @@ def preset():
     return preset_from_env()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_registry():
+    """Session-wide recording registry (no-op when REPRO_TELEMETRY=0)."""
+    if not _telemetry_enabled():
+        yield telemetry.get_registry()
+        return
+    registry = telemetry.Registry()
+    previous = telemetry.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        telemetry.set_registry(previous)
+
+
 @pytest.fixture(scope="session")
-def save_result():
+def save_result(preset):
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name, text):
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            telemetry.write_profile(
+                registry, RESULTS_DIR / f"{name}.telemetry.json",
+                meta={"benchmark": name, "preset": preset.name})
+            # Each benchmark's profile covers only its own work.
+            registry.reset()
         print()
         print(text)
         return path

@@ -5,6 +5,15 @@ helper that renders the same rows the paper prints. The benchmarks in
 ``benchmarks/`` are thin wrappers over these runners.
 """
 
+from repro.analysis.experiments import (
+    Experiment,
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
 from repro.analysis.presets import FAST, FULL, Preset
 
-__all__ = ["FAST", "FULL", "Preset"]
+__all__ = [
+    "FAST", "FULL", "Preset",
+    "Experiment", "experiment_names", "get_experiment", "run_experiment",
+]

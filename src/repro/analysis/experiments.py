@@ -1,0 +1,116 @@
+"""Single registry of the paper's experiments.
+
+Both the CLI (``repro.cli experiment`` / ``repro.cli list``) and the
+analysis package resolve experiments here, so a new experiment is
+registered exactly once and can never drift silently out of the CLI's
+choices. Runner modules are imported lazily inside each loader: the
+registry itself is import-cheap and pulls numpy-heavy code only when an
+experiment actually runs.
+"""
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ReproError
+
+_EXPERIMENTS = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable table/figure: ``run(preset)`` returns rendered text."""
+
+    name: str
+    help: str
+    loader: Callable  # () -> (preset -> str), imports lazily
+
+    def run(self, preset):
+        return self.loader()(preset)
+
+
+def _experiment(name, help):
+    def deco(loader):
+        _EXPERIMENTS[name] = Experiment(name=name, help=help, loader=loader)
+        return loader
+    return deco
+
+
+def experiment_names():
+    """Registration-ordered experiment names (the paper's order)."""
+    return tuple(_EXPERIMENTS)
+
+
+def get_experiment(name):
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise ReproError(f"unknown experiment {name!r}; known: "
+                         f"{', '.join(_EXPERIMENTS)}") from None
+
+
+def run_experiment(name, preset):
+    """Run one experiment at ``preset`` scale; returns the rendered text."""
+    return get_experiment(name).run(preset)
+
+
+@_experiment("table1", "qualitative comparison of diagnosis schemes")
+def _table1():
+    from repro.analysis.table1 import format_table1
+    return lambda preset: format_table1()
+
+
+@_experiment("table4", "offline topology search per program")
+def _table4():
+    from repro.analysis.table4 import format_table4, run_table4
+    return lambda preset: format_table4(run_table4(preset))
+
+
+@_experiment("table5", "diagnosis of the real bugs")
+def _table5():
+    from repro.analysis.table5 import format_table5, run_table5
+    return lambda preset: format_table5(run_table5(preset))
+
+
+@_experiment("table6", "diagnosis of the injected bugs")
+def _table6():
+    from repro.analysis.table6 import format_table6, run_table6
+    return lambda preset: format_table6(run_table6(preset))
+
+
+@_experiment("fig7a", "false negatives on synthesized invalid sequences")
+def _fig7a():
+    from repro.analysis.fig7a import format_fig7a, run_fig7a
+    return lambda preset: format_fig7a(run_fig7a(preset))
+
+
+@_experiment("fig7b", "adaptivity to new code/inputs")
+def _fig7b():
+    from repro.analysis.fig7b import format_fig7b, run_fig7b
+    return lambda preset: format_fig7b(run_fig7b(preset))
+
+
+@_experiment("overhead", "execution-time overhead on the Table III machine")
+def _overhead():
+    from repro.analysis.overhead import format_overhead, run_overhead
+    return lambda preset: format_overhead(run_overhead(preset))
+
+
+@_experiment("false_sharing", "last-writer metadata fidelity ablation")
+def _false_sharing():
+    from repro.analysis.false_sharing import (
+        format_false_sharing,
+        run_false_sharing,
+    )
+    return lambda preset: format_false_sharing(run_false_sharing(preset))
+
+
+@_experiment("nn_design", "pipelined vs time-multiplexed NN designs")
+def _nn_design():
+    from repro.analysis.nn_design import format_nn_design, run_nn_design
+    return lambda preset: format_nn_design(run_nn_design(preset))
+
+
+@_experiment("adaptation", "online-learning adaptation study")
+def _adaptation():
+    from repro.analysis.adaptation import format_adaptation, run_adaptation
+    return lambda preset: format_adaptation(run_adaptation())

@@ -2,22 +2,35 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro.cli list
+    python -m repro list
     python -m repro.cli diagnose gzip
     python -m repro.cli diagnose mysql1 --debug-buffer 120
+    python -m repro.cli diagnose gzip --telemetry profile.json
     python -m repro.cli trace lu --seed 3 --out lu.jsonl
     python -m repro.cli experiment table5 --preset fast
+    python -m repro.cli profile gzip          # telemetry phase/counter table
+    python -m repro.cli profile lu mcf        # workload communication profile
 
 ``diagnose`` runs the full ACT pipeline against one of the bundled bug
 programs; ``trace`` records a workload execution to a JSON-lines trace
 file; ``experiment`` regenerates one of the paper's tables/figures.
+``diagnose``/``trace``/``experiment`` accept ``--telemetry PATH`` to
+export a run profile (counters + nested phase spans, see
+:mod:`repro.telemetry`); ``profile`` renders such profiles for humans --
+given a bug name it runs a telemetry-enabled diagnosis and prints the
+phase/counter tables, given kernel names it prints the communication
+profile, and ``--load`` re-renders a saved profile JSON.
 """
 
 import argparse
+import os
 import sys
 
+from repro import __version__, telemetry
+from repro.analysis.experiments import experiment_names, run_experiment
 from repro.core.config import ACTConfig
 from repro.core.diagnosis import diagnose_failure
+from repro.telemetry import format_profile, profile_dict, read_profile
 from repro.trace.trace_io import write_trace
 from repro.workloads.framework import run_program
 from repro.workloads.registry import (
@@ -27,14 +40,11 @@ from repro.workloads.registry import (
     get_kernel,
 )
 
-_EXPERIMENTS = ("table1", "table4", "table5", "table6", "fig7a", "fig7b",
-                "overhead", "false_sharing", "nn_design", "adaptation")
-
 
 def _cmd_list(_args):
     print("kernels:", ", ".join(all_kernel_names()))
     print("bugs:   ", ", ".join(all_bug_names()))
-    print("experiments:", ", ".join(_EXPERIMENTS))
+    print("experiments:", ", ".join(experiment_names()))
     return 0
 
 
@@ -66,23 +76,60 @@ def _cmd_diagnose(args):
     return 0 if report.found else 1
 
 
-def _cmd_profile(args):
-    from repro.sim.trace_stats import profile_run, profile_table
+def _bug_run_profile(name, args):
+    """Diagnose ``name`` under a fresh registry; return the profile dict."""
+    program = get_bug(name)
+    registry = telemetry.Registry()
+    with telemetry.use_registry(registry):
+        report = diagnose_failure(program,
+                                  n_train_runs=args.train_runs,
+                                  n_pruning_runs=args.pruning_runs)
+    meta = {"program": name, "found": report.found}
+    if report.rank is not None:
+        meta["rank"] = report.rank
+    return profile_dict(registry, meta=meta)
 
-    profiles = []
+
+def _cmd_profile(args):
+    if args.load:
+        if not os.path.isfile(args.load):
+            print(f"error: profile {args.load!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        print(format_profile(read_profile(args.load)))
+        return 0
+    bug_names = set(all_bug_names())
     names = args.programs or all_kernel_names()
+    comm_profiles = []
+    first = True
     for name in names:
-        try:
+        if name in bug_names:
+            profile = _bug_run_profile(name, args)
+            if not first:
+                print()
+            print(format_profile(profile, title=f"run profile: {name}"))
+            first = False
+        else:
+            from repro.sim.trace_stats import profile_run
+
             program = get_kernel(name)
-        except Exception:
-            program = get_bug(name)
-        run = run_program(program, seed=args.seed)
-        profiles.append(profile_run(run, name=name))
-    print(profile_table(profiles))
+            run = run_program(program, seed=args.seed)
+            comm_profiles.append(profile_run(run, name=name))
+    if comm_profiles:
+        from repro.sim.trace_stats import profile_table
+
+        if not first:
+            print()
+        print(profile_table(comm_profiles))
     return 0
 
 
 def _cmd_trace(args):
+    out_dir = os.path.dirname(args.out)
+    if out_dir and not os.path.isdir(out_dir):
+        print(f"error: output directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
     try:
         program = get_kernel(args.program)
     except Exception:
@@ -99,52 +146,15 @@ def _cmd_experiment(args):
 
     preset = {"fast": presets.FAST, "bench": presets.BENCH,
               "full": presets.FULL}[args.preset]
-    name = args.name
-    if name == "table1":
-        from repro.analysis.table1 import format_table1
-        print(format_table1())
-    elif name == "table4":
-        from repro.analysis.table4 import format_table4, run_table4
-        print(format_table4(run_table4(preset)))
-    elif name == "table5":
-        from repro.analysis.table5 import format_table5, run_table5
-        print(format_table5(run_table5(preset)))
-    elif name == "table6":
-        from repro.analysis.table6 import format_table6, run_table6
-        print(format_table6(run_table6(preset)))
-    elif name == "fig7a":
-        from repro.analysis.fig7a import format_fig7a, run_fig7a
-        print(format_fig7a(run_fig7a(preset)))
-    elif name == "fig7b":
-        from repro.analysis.fig7b import format_fig7b, run_fig7b
-        print(format_fig7b(run_fig7b(preset)))
-    elif name == "overhead":
-        from repro.analysis.overhead import format_overhead, run_overhead
-        print(format_overhead(run_overhead(preset)))
-    elif name == "false_sharing":
-        from repro.analysis.false_sharing import (
-            format_false_sharing,
-            run_false_sharing,
-        )
-        print(format_false_sharing(run_false_sharing(preset)))
-    elif name == "nn_design":
-        from repro.analysis.nn_design import format_nn_design, run_nn_design
-        print(format_nn_design(run_nn_design(preset)))
-    elif name == "adaptation":
-        from repro.analysis.adaptation import (
-            format_adaptation,
-            run_adaptation,
-        )
-        print(format_adaptation(run_adaptation()))
-    else:
-        print(f"unknown experiment {name!r}", file=sys.stderr)
-        return 2
+    print(run_experiment(args.name, preset))
     return 0
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="ACT failure-diagnosis reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list bundled workloads and experiments")
@@ -158,21 +168,33 @@ def build_parser():
     d.add_argument("--debug-buffer", type=int, default=60)
     d.add_argument("--threshold", type=float, default=0.05)
     d.add_argument("--top", type=int, default=5)
+    d.add_argument("--telemetry", metavar="PATH",
+                   help="export a telemetry run profile (json/jsonl)")
 
     t = sub.add_parser("trace", help="record a workload trace")
     t.add_argument("program")
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--out", default="trace.jsonl")
+    t.add_argument("--telemetry", metavar="PATH",
+                   help="export a telemetry run profile (json/jsonl)")
 
-    p = sub.add_parser("profile",
-                       help="communication profile of workloads")
+    p = sub.add_parser(
+        "profile",
+        help="telemetry run profile of a bug diagnosis, or the "
+             "communication profile of workloads")
     p.add_argument("programs", nargs="*")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--train-runs", type=int, default=6)
+    p.add_argument("--pruning-runs", type=int, default=8)
+    p.add_argument("--load", metavar="PATH",
+                   help="render a previously saved telemetry profile")
 
     e = sub.add_parser("experiment", help="regenerate a table/figure")
-    e.add_argument("name", choices=_EXPERIMENTS)
+    e.add_argument("name", choices=experiment_names())
     e.add_argument("--preset", choices=("fast", "bench", "full"),
                    default="fast")
+    e.add_argument("--telemetry", metavar="PATH",
+                   help="export a telemetry run profile (json/jsonl)")
     return parser
 
 
@@ -185,7 +207,23 @@ def main(argv=None):
         "profile": _cmd_profile,
         "experiment": _cmd_experiment,
     }[args.command]
-    return handler(args)
+    telemetry_out = getattr(args, "telemetry", None)
+    if not telemetry_out:
+        return handler(args)
+
+    out_dir = os.path.dirname(telemetry_out)
+    if out_dir and not os.path.isdir(out_dir):
+        print(f"error: telemetry directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
+    registry = telemetry.Registry()
+    with telemetry.use_registry(registry):
+        rc = handler(args)
+    telemetry.write_profile(registry, telemetry_out,
+                            meta={"command": args.command,
+                                  "version": __version__})
+    print(f"telemetry profile written to {telemetry_out}")
+    return rc
 
 
 if __name__ == "__main__":

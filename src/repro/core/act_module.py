@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro import telemetry
 from repro.core.buffers import DebugBuffer, DebugEntry, InputGeneratorBuffer
 from repro.core.config import ACTConfig
 from repro.nn.network import OneHiddenLayerNet, SigmoidTable
@@ -84,6 +85,7 @@ class ACTModule:
         than ``N`` dependences seen).
         """
         self.stats.deps_processed += 1
+        telemetry.get_registry().inc("act.deps_processed")
         self.input_buffer.push(dep)
         seq = self.input_buffer.sequence(self.config.seq_len)
         if seq is None:
@@ -111,6 +113,14 @@ class ACTModule:
                 self.stats.online_trained += 1
                 trained = True
 
+        tele = telemetry.get_registry()
+        if tele.enabled:
+            tele.inc("act.predictions")
+            if invalid:
+                tele.inc("act.invalid_predictions")
+            if trained:
+                tele.inc("act.online_trained")
+
         self._window_count += 1
         if self._window_count >= self.config.check_window:
             self._check_misprediction_rate()
@@ -125,12 +135,21 @@ class ACTModule:
         self.stats.windows_checked += 1
         self.stats.window_rates.append(rate)
         threshold = self.config.mispred_threshold
+        switched = False
         if self.mode is Mode.TESTING and rate > threshold:
             self.mode = Mode.TRAINING
             self.stats.mode_switches += 1
+            switched = True
         elif self.mode is Mode.TRAINING and rate <= threshold:
             self.mode = Mode.TESTING
             self.stats.mode_switches += 1
+            switched = True
+        tele = telemetry.get_registry()
+        if tele.enabled:
+            tele.inc("act.windows_checked")
+            tele.observe("act.window_mispred_rate", rate)
+            if switched:
+                tele.inc("act.mode_switches")
         self.invalid_counter = 0
         self._window_count = 0
 

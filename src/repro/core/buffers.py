@@ -12,6 +12,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro import telemetry
 from repro.common.errors import ConfigError
 
 
@@ -64,6 +65,15 @@ class DebugBuffer:
         self.total_logged = 0  # including overwritten entries
 
     def log(self, entry):
+        tele = telemetry.get_registry()
+        if tele.enabled:
+            tele.inc("debug_buffer.logged")
+            if len(self._entries) >= self.capacity:
+                # The append below overwrites the oldest entry -- the
+                # overflow mode Table V's MySQL#1 row is about.
+                tele.inc("debug_buffer.overflows")
+            tele.observe("debug_buffer.occupancy",
+                         min(len(self._entries) + 1, self.capacity))
         self._entries.append(entry)
         self.total_logged += 1
 

@@ -9,6 +9,7 @@ would, and hands it to the owning core's AM.
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro import telemetry
 from repro.trace.raw import RawDepExtractor
 
 
@@ -71,4 +72,8 @@ def deploy_on_run(trained, run, keep_records=False):
         pred = module.process_dep(rec.dep)
         if keep_records and pred is not None:
             result.records.append(pred)
+    tele = telemetry.get_registry()
+    if tele.enabled:
+        tele.inc("deploy.runs")
+        tele.inc("deploy.deps", result.n_deps)
     return result

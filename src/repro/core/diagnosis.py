@@ -11,6 +11,7 @@
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import telemetry
 from repro.core.config import ACTConfig
 from repro.core.deploy import deploy_on_run
 from repro.core.offline import OfflineTrainer, collect_correct_runs
@@ -77,14 +78,28 @@ def diagnose_failure(program, config=None, trained=None,
     correct_params = dict(correct_params or {"buggy": False})
     pruning_params = dict(pruning_params if pruning_params is not None
                           else correct_params)
+    tele = telemetry.get_registry()
+    with tele.span("diagnose", program=getattr(program, "name", "?")):
+        return _diagnose_phases(
+            program, config, trained, tele, n_train_runs, train_seed0,
+            failure_seed, n_pruning_runs, pruning_seed0, failure_params,
+            correct_params, pruning_params, root_cause)
 
+
+def _diagnose_phases(program, config, trained, tele, n_train_runs,
+                     train_seed0, failure_seed, n_pruning_runs,
+                     pruning_seed0, failure_params, correct_params,
+                     pruning_params, root_cause):
     if trained is None:
-        trainer = OfflineTrainer(config=config)
-        trained = trainer.train(program, n_runs=n_train_runs,
-                                seed0=train_seed0, **correct_params)
+        with tele.span("diagnose.offline_train", n_runs=n_train_runs):
+            trainer = OfflineTrainer(config=config)
+            trained = trainer.train(program, n_runs=n_train_runs,
+                                    seed0=train_seed0, **correct_params)
 
     # --- The production failure run ----------------------------------
-    failure_run = run_program(program, seed=failure_seed, **failure_params)
+    with tele.span("diagnose.failure_run", seed=failure_seed):
+        failure_run = run_program(program, seed=failure_seed,
+                                  **failure_params)
     truth = root_cause or failure_run.meta.get("root_cause")
     report = DiagnosisReport(
         program=failure_run.meta.get("program", getattr(program, "name", "?")),
@@ -98,10 +113,15 @@ def diagnose_failure(program, config=None, trained=None,
     if not truth:
         report.notes.append("program provides no ground-truth root cause")
 
-    deployment = deploy_on_run(trained, failure_run)
+    with tele.span("diagnose.deploy"):
+        deployment = deploy_on_run(trained, failure_run)
     report.n_deps = deployment.n_deps
     report.n_invalid = deployment.n_invalid
     report.mode_switches = deployment.n_mode_switches
+    if tele.enabled:
+        tele.inc("diagnose.deps_observed", deployment.n_deps)
+        tele.inc("diagnose.invalids_flagged", deployment.n_invalid)
+        tele.inc("diagnose.mode_switches", deployment.n_mode_switches)
 
     # Table V "Debug Buf. Pos.": depth of the root cause from the newest
     # entry of its core's buffer at failure time.
@@ -120,21 +140,28 @@ def diagnose_failure(program, config=None, trained=None,
                 "retry with a larger debug_buffer (the MySQL#1 case)")
 
     # --- Offline post-processing --------------------------------------
-    correct_set = CorrectSet(config.seq_len,
-                             filter_stack=config.filter_stack_loads)
-    pruning_runs = collect_correct_runs(program, n_pruning_runs,
-                                        seed0=pruning_seed0, **pruning_params)
-    for run in pruning_runs:
-        correct_set.add_run(run)
+    with tele.span("diagnose.pruning_runs", n_runs=n_pruning_runs):
+        correct_set = CorrectSet(config.seq_len,
+                                 filter_stack=config.filter_stack_loads)
+        pruning_runs = collect_correct_runs(program, n_pruning_runs,
+                                            seed0=pruning_seed0,
+                                            **pruning_params)
+        for run in pruning_runs:
+            correct_set.add_run(run)
 
-    entries = deployment.debug_entries()
-    report.n_debug_entries = len(entries)
-    result = postprocess(entries, correct_set)
+    with tele.span("diagnose.ranking"):
+        entries = deployment.debug_entries()
+        report.n_debug_entries = len(entries)
+        result = postprocess(entries, correct_set)
     report.findings = result.findings
     report.filter_pct = result.filter_pct
     if truth:
         report.rank = result.rank_of_dep(truth)
         report.found = report.rank is not None
+    if tele.enabled:
+        tele.inc("diagnose.runs")
+        if report.found:
+            tele.inc("diagnose.found")
     return report
 
 

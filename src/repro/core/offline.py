@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import ReproError
 from repro.core.act_module import ACTModule
 from repro.core.config import ACTConfig
@@ -51,6 +52,7 @@ def collect_correct_runs(program, n_runs, seed0=0, **params):
                 f"{run.seed} failed ({run.failure}); offline training "
                 "uses only correct executions")
         runs.append(run)
+    telemetry.get_registry().inc("offline.correct_runs", len(runs))
     return runs
 
 
@@ -265,6 +267,15 @@ class OfflineTrainer:
     def train(self, program=None, runs=None, n_runs=10, seed0=0,
               pool_threads=True, encoder=None, **params) -> TrainedACT:
         """Train from a program (running it) or from pre-collected runs."""
+        with telemetry.get_registry().span(
+                "offline.train",
+                program=getattr(program, "name", "runs")):
+            return self._train(program=program, runs=runs, n_runs=n_runs,
+                               seed0=seed0, pool_threads=pool_threads,
+                               encoder=encoder, **params)
+
+    def _train(self, program=None, runs=None, n_runs=10, seed0=0,
+               pool_threads=True, encoder=None, **params) -> TrainedACT:
         if runs is None:
             if program is None:
                 raise ReproError("need a program or pre-collected runs")
@@ -321,6 +332,7 @@ class OfflineTrainer:
                 raise ReproError("no thread produced any dependence sequence")
             train_error = float(np.mean(errors)) if errors else 0.0
 
+        telemetry.get_registry().set_gauge("offline.train_error", train_error)
         return TrainedACT(config=cfg, encoder=encoder, weights=per_thread,
                           default_weights=default, train_error=train_error,
                           topology=f"{cfg.n_inputs}-{cfg.n_hidden}-1")
@@ -422,9 +434,13 @@ class OfflineTrainer:
             )
         if not example_sets:
             raise ReproError("no sequence length produced training examples")
-        best, choices = search_topology(
-            example_sets, hidden_widths=hidden_widths,
-            config=self.train_config, max_inputs=self.config.max_inputs)
+        with telemetry.get_registry().span(
+                "offline.topology_search",
+                program=getattr(program, "name", "runs"),
+                seq_lens=len(example_sets)):
+            best, choices = search_topology(
+                example_sets, hidden_widths=hidden_widths,
+                config=self.train_config, max_inputs=self.config.max_inputs)
         return best, choices, encoder
 
 

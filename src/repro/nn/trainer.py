@@ -10,6 +10,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.rng import make_np_rng
 from repro.nn.network import OneHiddenLayerNet
 
@@ -90,6 +91,7 @@ def train_network(positives, negatives, n_hidden, config=None, seed=None,
         seed = cfg.seed
     best = None
     best_key = None
+    tele = telemetry.get_registry()
     for r in range(max(1, cfg.restarts)):
         result = _train_once(positives, negatives, n_hidden, cfg,
                              seed + 7919 * r, max_inputs)
@@ -99,6 +101,12 @@ def train_network(positives, negatives, n_hidden, config=None, seed=None,
         if (result.train_error <= cfg.target_error
                 and result.worst_margin > cfg.accept_margin):
             break
+        if r and tele.enabled:
+            tele.inc("nn.train_restarts")
+    if tele.enabled:
+        tele.inc("nn.networks_trained")
+        tele.inc("nn.train_epochs", best.epochs)
+        tele.observe("nn.train_error", best.train_error)
     return best
 
 
@@ -146,6 +154,7 @@ def _fit_sgd(net, xs, targets, labels, cfg, seed):
     err_rate = 1.0
     epoch = 0
     fit_epoch = None
+    tele = telemetry.get_registry()
     for epoch in range(1, cfg.max_epochs + 1):
         if cfg.shuffle:
             rng.shuffle(order)
@@ -154,6 +163,8 @@ def _fit_sgd(net, xs, targets, labels, cfg, seed):
         outputs = net.predict_batch(xs)
         err_rate = float(np.mean((outputs >= 0.5) != labels))
         history.append(err_rate)
+        if tele.enabled:
+            tele.observe("nn.epoch_loss", err_rate)
         if err_rate <= cfg.target_error:
             if fit_epoch is None:
                 fit_epoch = epoch
@@ -183,6 +194,7 @@ def _fit_batch(net, xs, targets, labels, cfg):
     err_rate = 1.0
     epoch = 0
     fit_epoch = None
+    tele = telemetry.get_registry()
     for epoch in range(1, cfg.max_epochs + 1):
         h_in = xs @ w_h[:, :-1].T + w_h[:, -1]
         h = 1.0 / (1.0 + np.exp(-h_in))
@@ -191,6 +203,8 @@ def _fit_batch(net, xs, targets, labels, cfg):
 
         err_rate = float(np.mean((o >= 0.5) != labels))
         history.append(err_rate)
+        if tele.enabled:
+            tele.observe("nn.epoch_loss", err_rate)
         if err_rate <= cfg.target_error:
             if fit_epoch is None:
                 fit_epoch = epoch
@@ -270,6 +284,7 @@ def search_topology(example_sets, hidden_widths=None, config=None,
     """
     hidden_widths = list(hidden_widths or range(1, max_inputs + 1))
     choices = []
+    tele = telemetry.get_registry()
     for seq_len in sorted(example_sets):
         train_pos, train_neg, test_pos, test_neg = example_sets[seq_len]
         for h in hidden_widths:
@@ -277,6 +292,9 @@ def search_topology(example_sets, hidden_widths=None, config=None,
                                    max_inputs=max_inputs)
             rate = evaluate_misprediction(result.net, test_pos, test_neg)
             choices.append(TopologyChoice(seq_len, h, rate, result))
+            if tele.enabled:
+                tele.inc("nn.topologies_evaluated")
+                tele.observe("nn.topology_mispred_rate", rate)
     best = min(choices,
                key=lambda c: (c.mispred_rate, -c.seq_len, -c.n_hidden))
     return best, choices

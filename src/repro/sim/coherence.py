@@ -56,6 +56,24 @@ class CoherentMemorySystem:
         self.stats = {"loads": 0, "stores": 0, "l1_hits": 0, "l2_hits": 0,
                       "c2c": 0, "mem": 0, "upgrades": 0, "evictions": 0,
                       "lw_dropped": 0}
+        self._published = dict.fromkeys(self.stats, 0)
+
+    def publish_telemetry(self, registry, prefix="sim.cache."):
+        """Mirror the access counters into a telemetry registry.
+
+        Publishes only the delta since the previous call, so a machine
+        that replays several traces through one memory system reports
+        each replay once. ``lw_dropped`` is the Section V last-writer-
+        metadata loss (dirty evictions whose writer info is discarded);
+        ``mem`` is the miss-to-memory count.
+        """
+        if not registry.enabled:
+            return
+        for key, value in self.stats.items():
+            delta = value - self._published[key]
+            if delta:
+                registry.inc(prefix + key, delta)
+            self._published[key] = value
 
     # ------------------------------------------------------------------
 

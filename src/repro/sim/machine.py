@@ -20,6 +20,7 @@ against an identical run without ACT.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import telemetry
 from repro.nn.pipeline import ACTPipelineModel, NeuronTiming
 from repro.sim.coherence import CoherentMemorySystem
 from repro.sim.params import MachineParams
@@ -92,6 +93,8 @@ class Machine:
         deps_stalled = 0
         filter_stack = (self._act_cfg.filter_stack_loads
                         if self._act_cfg else True)
+        tele = telemetry.get_registry()
+        track = tele.enabled
 
         for event in run.events:
             core = self._core_of(event.tid)
@@ -112,6 +115,9 @@ class Machine:
                     if pred is not None:
                         deps_offered += 1
                         training = module.mode is Mode.TRAINING
+                        if track:
+                            tele.observe("sim.fifo_occupancy",
+                                         pipe.occupancy(int(clock)))
                         accepted, retry = pipe.offer(int(clock),
                                                      training=training)
                         if not accepted:
@@ -120,6 +126,9 @@ class Machine:
                             stall_total += stall
                             clock = float(retry)
                             pipe.offer(int(clock), training=training)
+                            if track:
+                                tele.inc("sim.fifo_stalls")
+                                tele.inc("sim.act_stall_cycles", stall)
             elif event.kind == EventKind.STORE:
                 res = self.memory.store(core, event.addr, event.pc)
                 # Stores retire through the write buffer; only the
@@ -129,6 +138,11 @@ class Machine:
             clocks[core] = clock
 
         cycles = int(max(clocks.values())) if clocks else 0
+        if track:
+            tele.inc("sim.runs")
+            tele.inc("sim.cycles", cycles)
+            tele.inc("sim.deps_offered", deps_offered)
+            self.memory.publish_telemetry(tele)
         return MachineResult(cycles=cycles, core_cycles=clocks,
                              act_stall_cycles=stall_total,
                              deps_offered=deps_offered,

@@ -1,0 +1,144 @@
+"""Run-profile export and rendering.
+
+A *run profile* is one registry's snapshot plus free-form metadata --
+the structured artifact a telemetry-enabled run leaves behind. Two
+on-disk formats, chosen by file extension:
+
+- ``*.json``: the whole profile as one indented JSON object (the
+  default; what ``--telemetry out.json`` writes).
+- ``*.jsonl``: one JSON record per line (``meta`` / ``counter`` /
+  ``gauge`` / ``histogram`` / ``span``), append-friendly for harnesses
+  that collect many runs into one stream.
+
+:func:`format_profile` renders a profile as the human-readable
+phase/counter tables ``repro.cli profile`` prints.
+"""
+
+import json
+
+from repro.common.texttable import render_table
+
+
+def profile_dict(registry, meta=None):
+    """Snapshot ``registry`` into a profile dict with ``meta`` attached."""
+    out = {"meta": dict(meta or {})}
+    out.update(registry.snapshot())
+    return out
+
+
+def write_profile(registry, path, meta=None):
+    """Write a registry snapshot to ``path`` (format from extension)."""
+    path = str(path)
+    profile = profile_dict(registry, meta=meta)
+    if path.endswith(".jsonl"):
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in _jsonl_records(profile):
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(profile, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return path
+
+
+def _jsonl_records(profile):
+    yield {"type": "meta", "meta": profile.get("meta", {})}
+    for name, value in profile.get("counters", {}).items():
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in profile.get("gauges", {}).items():
+        yield {"type": "gauge", "name": name, "value": value}
+    for name, stats in profile.get("histograms", {}).items():
+        yield {"type": "histogram", "name": name, **stats}
+    for span in profile.get("spans", ()):
+        yield {"type": "span", "span": span}
+
+
+def read_profile(path):
+    """Read a profile written by :func:`write_profile` (json or jsonl)."""
+    path = str(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        if not path.endswith(".jsonl"):
+            return json.load(fh)
+        profile = {"meta": {}, "counters": {}, "gauges": {},
+                   "histograms": {}, "spans": []}
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type")
+            if kind == "meta":
+                profile["meta"].update(record.get("meta", {}))
+            elif kind == "counter":
+                profile["counters"][record["name"]] = record["value"]
+            elif kind == "gauge":
+                profile["gauges"][record["name"]] = record["value"]
+            elif kind == "histogram":
+                name = record.pop("name")
+                profile["histograms"][name] = record
+            elif kind == "span":
+                profile["spans"].append(record["span"])
+        return profile
+
+
+# ----------------------------------------------------------------------
+# Human-readable rendering
+# ----------------------------------------------------------------------
+
+def _walk_span_dicts(span, depth=0):
+    yield depth, span
+    for child in span.get("children", ()):
+        yield from _walk_span_dicts(child, depth + 1)
+
+
+def format_profile(profile, title=None):
+    """Render a profile dict as phase/counter/histogram tables."""
+    sections = []
+    meta = profile.get("meta") or {}
+    header = title or "run profile"
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        header = f"{header} ({pairs})"
+    sections.append(header)
+
+    spans = profile.get("spans") or []
+    if spans:
+        total = sum(s.get("duration_s", 0.0) for s in spans) or 1.0
+        rows = []
+        for root in spans:
+            for depth, span in _walk_span_dicts(root):
+                dur = span.get("duration_s", 0.0)
+                rows.append(("  " * depth + span["name"],
+                             f"{dur:.4f}",
+                             f"{100.0 * dur / total:5.1f}"))
+        sections.append(render_table(("phase", "seconds", "% of run"), rows))
+
+    counters = profile.get("counters") or {}
+    if counters:
+        rows = [(name, _num(value)) for name, value in sorted(counters.items())]
+        sections.append(render_table(("counter", "value"), rows))
+
+    gauges = profile.get("gauges") or {}
+    if gauges:
+        rows = [(name, _num(value)) for name, value in sorted(gauges.items())]
+        sections.append(render_table(("gauge", "value"), rows))
+
+    histograms = profile.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, stats in sorted(histograms.items()):
+            rows.append((name, stats.get("count", 0),
+                         _num(stats.get("mean", 0.0)),
+                         _num(stats.get("min")), _num(stats.get("max"))))
+        sections.append(render_table(
+            ("histogram", "count", "mean", "min", "max"), rows))
+
+    return "\n\n".join(sections)
+
+
+def _num(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

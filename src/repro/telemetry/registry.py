@@ -1,0 +1,229 @@
+"""Metric registry: counters, gauges and histograms by dotted name.
+
+The registry is the cheap always-on half of the telemetry layer (the
+ARGUS/AFETM shape: counters that cost nothing to keep, profiles that
+are exported on demand). Instrumented code never constructs metric
+objects itself; it calls :meth:`Registry.inc` / :meth:`Registry.observe`
+/ :meth:`Registry.set_gauge` with a name, and the registry aggregates
+across every instance that reports under that name (all ACT modules'
+invalid counters land in one ``act.invalid_predictions``).
+
+:class:`NullRegistry` is the disabled mode: every mutator is a no-op
+and ``enabled`` is False so hot paths can skip whole instrumentation
+blocks with one attribute check. The default process-wide registry
+(see :mod:`repro.telemetry`) is a NullRegistry, which is what keeps
+telemetry zero-cost for paper-fidelity runs.
+"""
+
+from repro.telemetry import catalog as _catalog
+from repro.telemetry.spans import NULL_SPAN_CONTEXT, SpanTracer
+
+
+class Counter:
+    """Monotonic accumulator (int or float, e.g. stall cycles)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+
+class Gauge:
+    """Last-value metric (e.g. events/sec of the most recent run)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus value buckets.
+
+    Integer observations bucket exactly (FIFO occupancies are small
+    ints); floats are bucketed at 1e-4 resolution (misprediction rates,
+    losses), keeping memory bounded without losing the shape.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self.buckets = {}
+
+    @staticmethod
+    def _bucket(value):
+        if isinstance(value, int):
+            return value
+        return round(value, 4)
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = self._bucket(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {"count": self.count, "sum": self.sum, "mean": self.mean,
+                "min": self.min, "max": self.max,
+                "buckets": {str(k): v for k, v in sorted(self.buckets.items(),
+                                                         key=lambda kv: float(kv[0]))}}
+
+
+class Registry:
+    """One run's worth of metrics and spans."""
+
+    enabled = True
+
+    def __init__(self, preregister_catalog=True):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        self.tracer = SpanTracer()
+        self._preregister = preregister_catalog
+        if preregister_catalog:
+            self._register_catalog()
+
+    def _register_catalog(self):
+        # Declared metrics always appear in exports, even at zero --
+        # profile consumers get a stable key set.
+        for spec in _catalog.CATALOG:
+            if spec.kind == _catalog.COUNTER:
+                self._counters[spec.name] = Counter(spec.name)
+            elif spec.kind == _catalog.GAUGE:
+                self._gauges[spec.name] = Gauge(spec.name)
+            elif spec.kind == _catalog.HISTOGRAM:
+                self._histograms[spec.name] = Histogram(spec.name)
+
+    # -- metric access -------------------------------------------------
+
+    def counter(self, name):
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name):
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name):
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    # -- mutators (the only calls instrumentation sites make) ----------
+
+    def inc(self, name, n=1):
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def observe(self, name, value):
+        self.histogram(name).observe(value)
+
+    def span(self, name, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def spans(self):
+        """Root spans recorded so far (each a tree)."""
+        return list(self.tracer.roots)
+
+    def reset(self):
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.tracer.reset()
+        if self._preregister:
+            self._register_catalog()
+
+    def snapshot(self):
+        """Plain-dict view of everything recorded (JSON-serialisable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self._histograms.items())},
+            "spans": [s.to_dict() for s in self.tracer.roots],
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n=1):
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value):
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value):
+        pass
+
+
+class NullRegistry(Registry):
+    """Disabled registry: records nothing, shared no-op handles."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(preregister_catalog=False)
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name):
+        return self._null_counter
+
+    def gauge(self, name):
+        return self._null_gauge
+
+    def histogram(self, name):
+        return self._null_histogram
+
+    def inc(self, name, n=1):
+        pass
+
+    def set_gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def span(self, name, **attrs):
+        return NULL_SPAN_CONTEXT

@@ -1,0 +1,93 @@
+"""Nested wall-time spans (the tracing half of the telemetry layer).
+
+A span is one timed phase of a run -- "diagnose.offline_train",
+"diagnose.failure_run" -- and spans nest: entering a span while another
+is open records it as a child, so one diagnosis produces a tree whose
+root wall time decomposes into the phases the paper's workflow names
+(Figure 1: offline training, the failure run, deployment, pruning runs,
+post-processing).
+
+Spans deliberately measure *wall time only*. Everything countable
+(dependences, invalids, stalls) lives in the metric registry; the span
+tree answers "where did the time go", the metrics answer "what
+happened".
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One timed phase; ``duration`` is filled when the span closes."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    start: float = 0.0
+    duration: float = 0.0
+    children: list = field(default_factory=list)
+
+    def to_dict(self):
+        out = {"name": self.name, "duration_s": self.duration}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, d):
+        return cls(name=d["name"], attrs=dict(d.get("attrs", {})),
+                   duration=float(d.get("duration_s", 0.0)),
+                   children=[cls.from_dict(c)
+                             for c in d.get("children", ())])
+
+    def walk(self, depth=0):
+        """Yield (depth, span) over the subtree, pre-order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class SpanTracer:
+    """Collects a forest of spans via a context-manager API."""
+
+    def __init__(self):
+        self.roots = []
+        self._stack = []
+
+    @contextmanager
+    def span(self, name, **attrs):
+        span = Span(name=name, attrs=attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - span.start
+            self._stack.pop()
+
+    def reset(self):
+        self.roots = []
+        self._stack = []
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager; what a disabled registry hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = Span(name="null")
+NULL_SPAN_CONTEXT = _NullSpanContext()

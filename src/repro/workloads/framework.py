@@ -23,10 +23,12 @@ value semantics are exactly sequential consistency in trace order.
 """
 
 import enum
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.common.errors import ReproError, SimulatedFailure, TraceError
 from repro.common.rng import make_rng
 from repro.trace.events import EventKind, TraceEvent, TraceRun
@@ -287,6 +289,10 @@ class Scheduler:
         failure = None
         send_values: Dict[int, object] = {tid: None for tid in alive}
 
+        tele = telemetry.get_registry()
+        started = time.perf_counter() if tele.enabled else 0.0
+        quanta = 0
+
         current = 0 if alive else None
         steps = 0
         while alive:
@@ -301,6 +307,7 @@ class Scheduler:
                 raise TraceError(f"{instance.name}: deadlock ({blocked})")
             if current not in runnable or rng.random() < self.switch_prob:
                 current = rng.choice(runnable)
+                quanta += 1
             tid = current
 
             pending = blocked.pop(tid, None)
@@ -332,6 +339,18 @@ class Scheduler:
                 send_values[tid] = memory.get(item.addr, 0)
             elif item.kind == EventKind.STORE:
                 memory[item.addr] = getattr(item, "_value", None)
+
+        if tele.enabled:
+            elapsed = time.perf_counter() - started
+            tele.inc("sched.runs")
+            tele.inc("sched.steps", steps)
+            tele.inc("sched.quanta", quanta)
+            tele.inc("sched.events", len(events))
+            if failure is not None:
+                tele.inc("sched.failed_runs")
+            if elapsed > 0:
+                tele.set_gauge("sched.events_per_sec", len(events) / elapsed)
+            tele.observe("sched.events_per_run", len(events))
 
         return TraceRun(
             events=events,

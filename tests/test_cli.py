@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.telemetry import read_profile
 
 
 class TestParser:
@@ -24,6 +28,13 @@ class TestParser:
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table99"])
+
+    def test_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
 
 
 class TestCommands:
@@ -60,3 +71,80 @@ class TestCommands:
         assert main(["profile", "lu", "mcf"]) == 0
         out = capsys.readouterr().out
         assert "lu" in out and "mcf" in out and "Inter %" in out
+
+    def test_trace_missing_out_dir(self, tmp_path, capsys):
+        out_file = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        rc = main(["trace", "lu", "--out", str(out_file)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert not out_file.exists()
+
+
+class TestTelemetryCLI:
+    def test_diagnose_writes_profile(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(["diagnose", "gzip", "--train-runs", "6",
+                   "--pruning-runs", "8", "--telemetry", str(out)])
+        assert rc == 0
+        assert f"telemetry profile written to {out}" in capsys.readouterr().out
+        profile = read_profile(out)
+        assert profile["meta"]["command"] == "diagnose"
+        counters = profile["counters"]
+        assert counters["act.deps_processed"] > 0
+        assert counters["diagnose.runs"] == 1
+        # Declared catalog metrics appear even at zero.
+        for name in ("act.mode_switches", "sim.fifo_stalls",
+                     "debug_buffer.overflows"):
+            assert name in counters
+        (root,) = profile["spans"]
+        assert root["name"] == "diagnose"
+        assert {c["name"] for c in root["children"]} >= {
+            "diagnose.offline_train", "diagnose.failure_run",
+            "diagnose.deploy", "diagnose.pruning_runs", "diagnose.ranking"}
+
+    def test_telemetry_missing_out_dir(self, tmp_path, capsys):
+        out = tmp_path / "missing" / "profile.json"
+        rc = main(["trace", "lu", "--out", str(tmp_path / "t.jsonl"),
+                   "--telemetry", str(out)])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_profile_bug_renders_tables(self, capsys):
+        rc = main(["profile", "gzip", "--train-runs", "6",
+                   "--pruning-runs", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run profile: gzip" in out
+        assert "phase" in out and "diagnose.ranking" in out
+        assert "act.invalid_predictions" in out
+        assert "sim.fifo_occupancy" in out
+
+    def test_profile_load_missing_file(self, tmp_path, capsys):
+        rc = main(["profile", "--load", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_profile_load_rerenders(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["diagnose", "gzip", "--train-runs", "6",
+                     "--pruning-runs", "8", "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "diagnose.offline_train" in rendered
+        assert "act.deps_processed" in rendered
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import os
+        import pathlib
+        env = dict(os.environ)
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0
+        assert "gzip" in proc.stdout and "table5" in proc.stdout
