@@ -9,8 +9,8 @@ when running the benchmarks.
 """
 
 import os
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -18,6 +18,9 @@ class Preset:
     """Knobs shared by the experiment runners."""
 
     name: str
+    # Worker processes for independent units (None/1 = serial); results
+    # are identical either way. Set via --jobs or REPRO_JOBS.
+    jobs: Optional[int] = None
     # Table IV / Fig 7a
     n_train_traces: int = 10
     n_test_traces: int = 10
@@ -79,10 +82,18 @@ FAST = Preset(
 
 
 def preset_from_env(default="bench"):
-    """Resolve the preset named by ``REPRO_PRESET`` (fast|bench|full)."""
+    """Resolve the preset named by ``REPRO_PRESET`` (fast|bench|full).
+
+    ``REPRO_JOBS`` additionally sets the worker-process count (serial
+    when unset).
+    """
     name = os.environ.get("REPRO_PRESET", default).lower()
     try:
-        return {"fast": FAST, "bench": BENCH, "full": FULL}[name]
+        preset = {"fast": FAST, "bench": BENCH, "full": FULL}[name]
     except KeyError:
         raise ValueError(f"unknown REPRO_PRESET {name!r}; "
                          "expected fast, bench or full") from None
+    jobs = os.environ.get("REPRO_JOBS")
+    if jobs:
+        preset = replace(preset, jobs=int(jobs))
+    return preset

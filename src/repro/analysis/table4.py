@@ -42,13 +42,14 @@ def run_table4(preset=FULL, config=None) -> List[Table4Row]:
         program = get_kernel(name)
         runs = collect_correct_runs(
             program, preset.n_train_traces + preset.n_test_traces, seed0=0,
-            **workload_params(name, preset.trace_scale))
+            jobs=preset.jobs, **workload_params(name, preset.trace_scale))
         train_runs = runs[:preset.n_train_traces]
         test_runs = runs[preset.n_train_traces:]
         trainer = OfflineTrainer(config=config)
         best, _choices, _enc = trainer.search(
             train_runs=train_runs, test_runs=test_runs,
-            seq_lens=preset.seq_lens, hidden_widths=preset.hidden_widths)
+            seq_lens=preset.seq_lens, hidden_widths=preset.hidden_widths,
+            jobs=preset.jobs)
         rows.append(Table4Row(
             program=name,
             n_traces=len(train_runs),

@@ -56,7 +56,8 @@ def _cmd_diagnose(args):
     report = diagnose_failure(program, config=config,
                               n_train_runs=args.train_runs,
                               n_pruning_runs=args.pruning_runs,
-                              failure_seed=args.seed)
+                              failure_seed=args.seed,
+                              fast=args.fast, jobs=args.jobs)
     print(f"program          : {report.program}")
     print(f"failure          : {report.failure_description}")
     print(f"deps observed    : {report.n_deps} "
@@ -142,10 +143,14 @@ def _cmd_trace(args):
 
 
 def _cmd_experiment(args):
+    from dataclasses import replace
+
     from repro.analysis import presets
 
     preset = {"fast": presets.FAST, "bench": presets.BENCH,
               "full": presets.FULL}[args.preset]
+    if args.jobs is not None:
+        preset = replace(preset, jobs=args.jobs)
     print(run_experiment(args.name, preset))
     return 0
 
@@ -168,6 +173,12 @@ def build_parser():
     d.add_argument("--debug-buffer", type=int, default=60)
     d.add_argument("--threshold", type=float, default=0.05)
     d.add_argument("--top", type=int, default=5)
+    d.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for independent runs "
+                        "(results identical to serial; 0 = all CPUs)")
+    d.add_argument("--no-fast", dest="fast", action="store_false",
+                   help="replay the failure run through the scalar "
+                        "reference path instead of the batched fast path")
     d.add_argument("--telemetry", metavar="PATH",
                    help="export a telemetry run profile (json/jsonl)")
 
@@ -193,6 +204,9 @@ def build_parser():
     e.add_argument("name", choices=experiment_names())
     e.add_argument("--preset", choices=("fast", "bench", "full"),
                    default="fast")
+    e.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for independent runs "
+                        "(results identical to serial; 0 = all CPUs)")
     e.add_argument("--telemetry", metavar="PATH",
                    help="export a telemetry run profile (json/jsonl)")
     return parser

@@ -19,6 +19,12 @@ class SimulatedFailure(ReproError):
         self.tid = tid
         self.pc = pc
 
+    def __reduce__(self):
+        # Exception's default reduce re-raises with ``args`` only, which
+        # would drop tid/pc when a failure crosses a process-pool
+        # boundary (the --jobs run orchestration).
+        return (self.__class__, (self.description, self.tid, self.pc))
+
 
 class ConfigError(ReproError):
     """Raised when a configuration object is inconsistent."""

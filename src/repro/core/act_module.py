@@ -11,6 +11,7 @@ rate below threshold -> back to testing).
 """
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -41,7 +42,14 @@ class PredictionRecord:
 
 @dataclass
 class AMStats:
-    """Counters the evaluation reads out of one AM."""
+    """Counters the evaluation reads out of one AM.
+
+    ``window_rates`` keeps only a rolling tail (newest
+    ``window_rate_tail`` check-window rates; production-scale runs see
+    millions of check windows, so an unbounded list would not do), while
+    the running aggregates (sum/max over *all* windows, count via
+    ``windows_checked``) stay exact for telemetry and evaluation.
+    """
 
     deps_processed: int = 0
     predictions: int = 0
@@ -49,7 +57,24 @@ class AMStats:
     online_trained: int = 0
     mode_switches: int = 0
     windows_checked: int = 0
-    window_rates: list = field(default_factory=list)
+    window_rate_sum: float = 0.0
+    window_rate_max: float = 0.0
+    window_rates: deque = field(
+        default_factory=lambda: deque(maxlen=1024))
+
+    @property
+    def mean_window_rate(self):
+        """Exact mean misprediction rate over every window checked."""
+        if not self.windows_checked:
+            return 0.0
+        return self.window_rate_sum / self.windows_checked
+
+    def record_window_rate(self, rate):
+        self.windows_checked += 1
+        self.window_rate_sum += rate
+        if rate > self.window_rate_max:
+            self.window_rate_max = rate
+        self.window_rates.append(rate)
 
 
 class ACTModule:
@@ -74,7 +99,8 @@ class ACTModule:
         self.mode = Mode.TESTING
         self.invalid_counter = 0
         self._window_count = 0
-        self.stats = AMStats()
+        self.stats = AMStats(window_rates=deque(
+            maxlen=self.config.window_rate_tail))
 
     # ------------------------------------------------------------------
 
@@ -132,8 +158,7 @@ class ACTModule:
     def _check_misprediction_rate(self):
         """Periodic Invalid-Counter check driving the mode alternation."""
         rate = self.invalid_counter / self._window_count
-        self.stats.windows_checked += 1
-        self.stats.window_rates.append(rate)
+        self.stats.record_window_rate(rate)
         threshold = self.config.mispred_threshold
         switched = False
         if self.mode is Mode.TESTING and rate > threshold:

@@ -28,6 +28,17 @@ class InputGeneratorBuffer:
     def push(self, dep):
         self._deps.append(dep)
 
+    def extend(self, deps):
+        """Push many dependences at once (the batched replay path)."""
+        self._deps.extend(deps)
+
+    def tail(self, k):
+        """The newest ``k`` dependences, oldest first (fewer while the
+        buffer is still warming up)."""
+        if k <= 0:
+            return []
+        return list(self._deps)[-k:]
+
     def sequence(self, n):
         """The newest ``n`` dependences (oldest first), or None if not warm."""
         if n > self.capacity:

@@ -32,6 +32,7 @@ class ACTConfig:
     debug_buffer: int = 60
     mispred_threshold: float = 0.05
     check_window: int = 200        # deps between misprediction-rate checks
+    window_rate_tail: int = 1024   # per-window rates kept in AMStats
 
     # --- Hardware timing (overhead experiments) -----------------------
     muladd_units: int = 2
@@ -61,6 +62,8 @@ class ACTConfig:
             raise ConfigError("check_window must be positive")
         if self.debug_buffer < 1:
             raise ConfigError("debug buffer must hold at least one entry")
+        if self.window_rate_tail < 1:
+            raise ConfigError("window_rate_tail must be positive")
         if self.line_size % 4 or self.line_size < 4:
             raise ConfigError("line size must be a positive multiple of 4")
 

@@ -42,7 +42,8 @@ class DeploymentResult:
         return sum(m.stats.mode_switches for m in self.modules.values())
 
 
-def deploy_on_run(trained, run, keep_records=False):
+def deploy_on_run(trained, run, keep_records=False, fast=True,
+                  chunk_size=None):
     """Feed every RAW dependence of ``run`` through per-thread AMs.
 
     Args:
@@ -51,11 +52,22 @@ def deploy_on_run(trained, run, keep_records=False):
             diagnosis this is the failure execution).
         keep_records: retain each :class:`PredictionRecord` (memory-heavy
             for long runs; used by analysis code).
+        fast: route through the batched replay fast path
+            (:mod:`repro.core.fastpath`), which is bit-identical to the
+            scalar replay; pass ``fast=False`` to force the reference
+            per-dependence path.
+        chunk_size: fast-path chunk size override (None for the default).
 
     Returns:
         :class:`DeploymentResult` with the AMs (and their debug buffers)
         in their end-of-run state.
     """
+    if fast:
+        from repro.core import fastpath
+        if chunk_size is None:
+            chunk_size = fastpath.DEFAULT_CHUNK_SIZE
+        return fastpath.replay_run(trained, run, keep_records=keep_records,
+                                   chunk_size=chunk_size)
     cfg = trained.config
     modules = {tid: trained.make_module(tid) for tid in range(run.n_threads)}
     extractor = RawDepExtractor(filter_stack=cfg.filter_stack_loads)

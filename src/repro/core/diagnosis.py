@@ -48,7 +48,8 @@ def diagnose_failure(program, config=None, trained=None,
                      failure_seed=12345,
                      n_pruning_runs=20, pruning_seed0=100,
                      failure_params=None, correct_params=None,
-                     pruning_params=None, root_cause=None):
+                     pruning_params=None, root_cause=None,
+                     fast=True, jobs=None):
     """Diagnose ``program``'s failure with the full ACT pipeline.
 
     Args:
@@ -69,6 +70,13 @@ def diagnose_failure(program, config=None, trained=None,
             dependences from the code sections where the dependence
             sequences of the Debug Buffer belong").
         root_cause: override the program's ground-truth dependence keys.
+        fast: replay the failure run through the batched fast path
+            (bit-identical to the scalar replay; ``fast=False`` forces
+            the reference per-dependence path).
+        jobs: run independent units (correct-run collection, pruning
+            runs, offline training) across ``jobs`` worker processes.
+            ``None``/1 keeps everything serial; results are identical
+            either way.
 
     Returns:
         :class:`DiagnosisReport`.
@@ -83,18 +91,19 @@ def diagnose_failure(program, config=None, trained=None,
         return _diagnose_phases(
             program, config, trained, tele, n_train_runs, train_seed0,
             failure_seed, n_pruning_runs, pruning_seed0, failure_params,
-            correct_params, pruning_params, root_cause)
+            correct_params, pruning_params, root_cause, fast, jobs)
 
 
 def _diagnose_phases(program, config, trained, tele, n_train_runs,
                      train_seed0, failure_seed, n_pruning_runs,
                      pruning_seed0, failure_params, correct_params,
-                     pruning_params, root_cause):
+                     pruning_params, root_cause, fast=True, jobs=None):
     if trained is None:
         with tele.span("diagnose.offline_train", n_runs=n_train_runs):
             trainer = OfflineTrainer(config=config)
             trained = trainer.train(program, n_runs=n_train_runs,
-                                    seed0=train_seed0, **correct_params)
+                                    seed0=train_seed0, jobs=jobs,
+                                    **correct_params)
 
     # --- The production failure run ----------------------------------
     with tele.span("diagnose.failure_run", seed=failure_seed):
@@ -114,7 +123,7 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
         report.notes.append("program provides no ground-truth root cause")
 
     with tele.span("diagnose.deploy"):
-        deployment = deploy_on_run(trained, failure_run)
+        deployment = deploy_on_run(trained, failure_run, fast=fast)
     report.n_deps = deployment.n_deps
     report.n_invalid = deployment.n_invalid
     report.mode_switches = deployment.n_mode_switches
@@ -144,7 +153,7 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
         correct_set = CorrectSet(config.seq_len,
                                  filter_stack=config.filter_stack_loads)
         pruning_runs = collect_correct_runs(program, n_pruning_runs,
-                                            seed0=pruning_seed0,
+                                            seed0=pruning_seed0, jobs=jobs,
                                             **pruning_params)
         for run in pruning_runs:
             correct_set.add_run(run)

@@ -14,9 +14,21 @@ that makes valid-communication regions learnable bumps in input space.
 PCs outside the map (e.g. dynamically loaded code) hash to a
 deterministic code via the golden-ratio trick, mirroring the paper's
 library-id + offset scheme.
+
+Two encoding paths exist and produce bit-identical values:
+
+- the scalar path (:meth:`DepEncoder.encode_dep` /
+  :meth:`DepEncoder.encode_seq`), one dependence at a time -- what the
+  per-dependence AM step uses;
+- the vectorised path (:meth:`DepEncoder.codes_of` /
+  :meth:`DepEncoder.encode_stream` / :meth:`DepEncoder.encode_windows`),
+  which maps whole dependence streams through precomputed numpy code
+  arrays and materialises every sliding window with stride tricks --
+  what the batched replay fast path and offline training use.
 """
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.common.errors import ConfigError
 
@@ -31,21 +43,24 @@ class DepEncoder:
 
         Args:
             pcs: iterable of static instruction addresses.
-            code_map: alternatively, a workload CodeMap (its pcs are used).
+            code_map: alternatively, a workload CodeMap (its memory pcs
+                are used -- only memory instructions participate in
+                dependences, and fewer codes means wider spacing in
+                ``(0, 1)`` and sharper class boundaries for the network).
         """
         if code_map is not None:
-            # Only memory instructions participate in dependences, so
-            # only they need codes -- fewer codes means wider spacing in
-            # (0, 1) and sharper class boundaries for the network.
-            pcs = sorted(pc for pc, site in code_map._sites.items()
-                         if site.kind.is_memory())
+            pcs = code_map.memory_pcs()
         if pcs is None:
             raise ConfigError("DepEncoder needs pcs or a code_map")
         pcs = sorted(set(pcs))
         n = len(pcs)
         if n == 0:
             raise ConfigError("DepEncoder needs at least one pc")
-        self._codes = {pc: (i + 1) / (n + 1) for i, pc in enumerate(pcs)}
+        # Vectorised lookup tables; the scalar dict is derived from the
+        # same arrays so both paths serve bit-identical codes.
+        self._pc_arr = np.asarray(pcs, dtype=np.int64)
+        self._code_arr = np.arange(1, n + 1, dtype=np.float64) / (n + 1)
+        self._codes = {pc: float(c) for pc, c in zip(pcs, self._code_arr)}
         self.n_pcs = n
 
     def code_of(self, pc):
@@ -55,6 +70,20 @@ class DepEncoder:
             code = (pc * _GOLDEN) % 1.0
             code = min(max(code, 0.01), 0.99)
         return code
+
+    def codes_of(self, pcs):
+        """Vectorised :meth:`code_of` for an int array of pcs."""
+        pcs = np.asarray(pcs, dtype=np.int64)
+        idx = np.searchsorted(self._pc_arr, pcs)
+        idx = np.clip(idx, 0, len(self._pc_arr) - 1)
+        known = self._pc_arr[idx] == pcs
+        out = np.empty(len(pcs))
+        out[known] = self._code_arr[idx[known]]
+        if not known.all():
+            unseen = ~known
+            hashed = (pcs[unseen].astype(np.float64) * _GOLDEN) % 1.0
+            out[unseen] = np.clip(hashed, 0.01, 0.99)
+        return out
 
     def encode_dep(self, dep):
         """Two inputs (signed store code, load code) for one dependence."""
@@ -70,12 +99,55 @@ class DepEncoder:
             out[2 * i], out[2 * i + 1] = self.encode_dep(dep)
         return out
 
-    def encode_many(self, seqs):
-        """2-D array of encodings for an iterable of equal-length sequences."""
+    def encode_stream(self, deps):
+        """Flat ``(2 * len(deps),)`` encoding of a dependence stream.
+
+        One vectorised pass: the interleaved (signed store code, load
+        code) layout matches concatenating :meth:`encode_dep` results.
+        """
+        n = len(deps)
+        out = np.empty(2 * n)
+        if not n:
+            return out
+        stores = np.fromiter((d.store_pc for d in deps),
+                             dtype=np.int64, count=n)
+        loads = np.fromiter((d.load_pc for d in deps),
+                            dtype=np.int64, count=n)
+        inter = np.fromiter((d.inter_thread for d in deps),
+                            dtype=bool, count=n)
+        s = self.codes_of(stores)
+        np.negative(s, where=inter, out=s)
+        out[0::2] = s
+        out[1::2] = self.codes_of(loads)
+        return out
+
+    def encode_windows(self, deps, seq_len):
+        """Input matrix of every sliding window over a dependence stream.
+
+        Row ``r`` is ``encode_seq(deps[r:r + seq_len])``; the stream is
+        encoded once and the windows are stride-tricked views into the
+        flat array (no per-dependence Python loop, no copies).
+        """
+        if len(deps) < seq_len:
+            return np.empty((0, 2 * seq_len))
+        flat = self.encode_stream(deps)
+        return sliding_window_view(flat, 2 * seq_len)[::2]
+
+    def encode_many(self, seqs, seq_len=None):
+        """2-D array of encodings for an iterable of equal-length sequences.
+
+        ``seq_len`` fixes the output width ``(0, 2 * seq_len)`` when
+        ``seqs`` is empty, so downstream ``vstack``/``predict_batch``
+        consumers always see the right number of columns.
+        """
         seqs = list(seqs)
         if not seqs:
-            return np.empty((0, 0))
-        return np.vstack([self.encode_seq(s) for s in seqs])
+            return np.empty((0, 2 * seq_len if seq_len else 0))
+        k = len(seqs[0])
+        if any(len(s) != k for s in seqs):
+            raise ConfigError("encode_many needs equal-length sequences")
+        flat = self.encode_stream([d for s in seqs for d in s])
+        return flat.reshape(len(seqs), 2 * k)
 
     def n_inputs(self, seq_len):
         return 2 * seq_len

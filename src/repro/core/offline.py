@@ -35,23 +35,32 @@ from repro.trace.raw import (
 from repro.workloads.framework import run_program
 
 
-def collect_correct_runs(program, n_runs, seed0=0, **params):
+def _correct_run_task(payload):
+    """Picklable work item for one training/pruning execution."""
+    program, seed, params = payload
+    return run_program(program, seed=seed, **params)
+
+
+def collect_correct_runs(program, n_runs, seed0=0, jobs=None, **params):
     """Run ``program`` ``n_runs`` times with distinct seeds; all must pass.
 
     These model the paper's test-suite executions used for offline
-    training and for building the post-processing Correct Set.
+    training and for building the post-processing Correct Set. Each run
+    gets its own seed (``seed0``, ``seed0 + 1``, ...) so ``jobs > 1``
+    collects the exact same runs across a process pool.
     """
-    runs = []
-    seed = seed0
-    while len(runs) < n_runs:
-        run = run_program(program, seed=seed, **params)
-        seed += 1
+    from repro.parallel import run_tasks
+
+    runs = run_tasks(
+        _correct_run_task,
+        [(program, seed0 + i, params) for i in range(n_runs)],
+        jobs=jobs)
+    for run in runs:
         if run.failed:
             raise ReproError(
                 f"{run.meta.get('program')}: training run with seed "
                 f"{run.seed} failed ({run.failure}); offline training "
                 "uses only correct executions")
-        runs.append(run)
     telemetry.get_registry().inc("offline.correct_runs", len(runs))
     return runs
 
@@ -99,9 +108,7 @@ def _store_universe(code_map):
     """
     if code_map is None:
         return None
-    from repro.trace.events import EventKind
-    return [pc for pc, site in code_map._sites.items()
-            if site.kind == EventKind.STORE]
+    return code_map.store_pcs()
 
 
 def augment_negative_sequences(pos_seqs, seed=0, per_positive=2,
@@ -147,6 +154,12 @@ def augment_negative_sequences(pos_seqs, seed=0, per_positive=2,
             bad = RawDep(s, last.load_pc, inter_thread=last.inter_thread)
             out.append(seq[:-1] + (bad,))
     return _dedupe(out)
+
+
+def _train_one_task(payload):
+    """Picklable work item: train one thread's weight set."""
+    trainer, pos, neg, encoder, store_universe = payload
+    return trainer._train_one(pos, neg, encoder, store_universe)
 
 
 @dataclass
@@ -265,21 +278,29 @@ class OfflineTrainer:
         self.train_line_view = train_line_view
 
     def train(self, program=None, runs=None, n_runs=10, seed0=0,
-              pool_threads=True, encoder=None, **params) -> TrainedACT:
-        """Train from a program (running it) or from pre-collected runs."""
+              pool_threads=True, encoder=None, jobs=None,
+              **params) -> TrainedACT:
+        """Train from a program (running it) or from pre-collected runs.
+
+        ``jobs`` parallelises the independent units (run collection and,
+        with ``pool_threads=False``, the per-thread trainings) across
+        worker processes; results are identical to the serial path.
+        """
         with telemetry.get_registry().span(
                 "offline.train",
                 program=getattr(program, "name", "runs")):
             return self._train(program=program, runs=runs, n_runs=n_runs,
                                seed0=seed0, pool_threads=pool_threads,
-                               encoder=encoder, **params)
+                               encoder=encoder, jobs=jobs, **params)
 
     def _train(self, program=None, runs=None, n_runs=10, seed0=0,
-               pool_threads=True, encoder=None, **params) -> TrainedACT:
+               pool_threads=True, encoder=None, jobs=None,
+               **params) -> TrainedACT:
         if runs is None:
             if program is None:
                 raise ReproError("need a program or pre-collected runs")
-            runs = collect_correct_runs(program, n_runs, seed0=seed0, **params)
+            runs = collect_correct_runs(program, n_runs, seed0=seed0,
+                                        jobs=jobs, **params)
         if encoder is None:
             code_map = runs[0].code_map
             if code_map is None:
@@ -313,23 +334,26 @@ class OfflineTrainer:
             default = weights
             train_error = result.train_error
         else:
+            from repro.parallel import run_tasks
+
             per_stream = sequences_from_runs(
                 runs, cfg.seq_len, filter_stack=cfg.filter_stack_loads,
                 pool_threads=False)
+            tids = [tid for tid, (pos, _neg) in sorted(per_stream.items())
+                    if pos]
+            if not tids:
+                raise ReproError("no thread produced any dependence sequence")
+            outs = run_tasks(
+                _train_one_task,
+                [(self, per_stream[tid][0], per_stream[tid][1], encoder,
+                  store_universe) for tid in tids],
+                jobs=jobs)
             per_thread = {}
-            default = None
             errors = []
-            for tid, (pos, neg) in sorted(per_stream.items()):
-                if not pos:
-                    continue
-                weights, result = self._train_one(pos, neg, encoder,
-                                                  store_universe)
+            for tid, (weights, result) in zip(tids, outs):
                 per_thread[tid] = weights
                 errors.append(result.train_error)
-                if default is None:
-                    default = weights
-            if default is None:
-                raise ReproError("no thread produced any dependence sequence")
+            default = per_thread[tids[0]]
             train_error = float(np.mean(errors)) if errors else 0.0
 
         telemetry.get_registry().set_gauge("offline.train_error", train_error)
@@ -340,8 +364,10 @@ class OfflineTrainer:
     def _train_one(self, pos_seqs, neg_seqs, encoder, store_universe=None):
         pos_unique, neg_unique = self.prepare_examples(
             pos_seqs, neg_seqs, store_universe=store_universe)
-        xs_pos = encoder.encode_many(pos_unique)
-        xs_neg = encoder.encode_many(neg_unique)
+        xs_pos = encoder.encode_many(pos_unique,
+                                     seq_len=self.config.seq_len)
+        xs_neg = encoder.encode_many(neg_unique,
+                                     seq_len=self.config.seq_len)
         result = train_network(xs_pos, xs_neg, self.config.n_hidden,
                                config=self.train_config,
                                max_inputs=self.config.max_inputs)
@@ -387,16 +413,19 @@ class OfflineTrainer:
 
     def search(self, program=None, train_runs=None, test_runs=None,
                seq_lens=(1, 2, 3, 4, 5), hidden_widths=None,
-               n_train_runs=10, n_test_runs=10, seed0=0, **params):
+               n_train_runs=10, n_test_runs=10, seed0=0, jobs=None,
+               **params):
         """Grid-search topologies as in Table IV.
 
         Training examples come from ``train_runs``; the misprediction
         rate is the dynamic false-positive rate over ``test_runs``.
+        ``jobs`` spreads run collection and the topology grid across
+        worker processes (identical results to serial).
         Returns (best TopologyChoice, all choices, encoder).
         """
         if train_runs is None or test_runs is None:
             runs = collect_correct_runs(program, n_train_runs + n_test_runs,
-                                        seed0=seed0, **params)
+                                        seed0=seed0, jobs=jobs, **params)
             train_runs = runs[:n_train_runs]
             test_runs = runs[n_train_runs:]
         encoder = DepEncoder(code_map=train_runs[0].code_map)
@@ -427,10 +456,10 @@ class OfflineTrainer:
             # rate is purely false positives, so negatives stay out of
             # the test set here.
             example_sets[n] = (
-                encoder.encode_many(pos_unique),
-                encoder.encode_many(neg_unique),
-                encoder.encode_many(te_pos),
-                np.empty((0, 2 * n)),
+                encoder.encode_many(pos_unique, seq_len=n),
+                encoder.encode_many(neg_unique, seq_len=n),
+                encoder.encode_many(te_pos, seq_len=n),
+                encoder.encode_many([], seq_len=n),
             )
         if not example_sets:
             raise ReproError("no sequence length produced training examples")
@@ -440,7 +469,8 @@ class OfflineTrainer:
                 seq_lens=len(example_sets)):
             best, choices = search_topology(
                 example_sets, hidden_widths=hidden_widths,
-                config=self.train_config, max_inputs=self.config.max_inputs)
+                config=self.train_config, max_inputs=self.config.max_inputs,
+                jobs=jobs)
         return best, choices, encoder
 
 

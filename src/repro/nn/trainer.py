@@ -263,8 +263,17 @@ def evaluate_misprediction(net, test_positives, test_negatives=None):
     return wrong / total
 
 
+def _search_point(payload):
+    """Picklable work item: train and score one grid point."""
+    train_pos, train_neg, test_pos, test_neg, h, config, max_inputs = payload
+    result = train_network(train_pos, train_neg, h, config=config,
+                           max_inputs=max_inputs)
+    rate = evaluate_misprediction(result.net, test_pos, test_neg)
+    return result, rate
+
+
 def search_topology(example_sets, hidden_widths=None, config=None,
-                    max_inputs=10):
+                    max_inputs=10, jobs=None):
     """Grid-search (sequence length x hidden width) topologies.
 
     Args:
@@ -272,6 +281,9 @@ def search_topology(example_sets, hidden_widths=None, config=None,
             test_pos, test_neg)`` of encoded arrays, one entry per
             candidate sequence length.
         hidden_widths: candidate hidden widths (default 1..max_inputs).
+        jobs: evaluate grid points across this many worker processes
+            (every point is seeded by ``config``, so serial and
+            parallel searches pick the identical winner).
 
     Returns:
         (best, all_choices): the lowest-misprediction
@@ -282,19 +294,23 @@ def search_topology(example_sets, hidden_widths=None, config=None,
         which is why the paper's Table IV settles on 10-10-1 for almost
         every program.
     """
+    from repro.parallel import run_tasks
+
     hidden_widths = list(hidden_widths or range(1, max_inputs + 1))
+    grid = [(seq_len, h) for seq_len in sorted(example_sets)
+            for h in hidden_widths]
+    outs = run_tasks(
+        _search_point,
+        [example_sets[seq_len] + (h, config, max_inputs)
+         for seq_len, h in grid],
+        jobs=jobs)
     choices = []
     tele = telemetry.get_registry()
-    for seq_len in sorted(example_sets):
-        train_pos, train_neg, test_pos, test_neg = example_sets[seq_len]
-        for h in hidden_widths:
-            result = train_network(train_pos, train_neg, h, config=config,
-                                   max_inputs=max_inputs)
-            rate = evaluate_misprediction(result.net, test_pos, test_neg)
-            choices.append(TopologyChoice(seq_len, h, rate, result))
-            if tele.enabled:
-                tele.inc("nn.topologies_evaluated")
-                tele.observe("nn.topology_mispred_rate", rate)
+    for (seq_len, h), (result, rate) in zip(grid, outs):
+        choices.append(TopologyChoice(seq_len, h, rate, result))
+        if tele.enabled:
+            tele.inc("nn.topologies_evaluated")
+            tele.observe("nn.topology_mispred_rate", rate)
     best = min(choices,
                key=lambda c: (c.mispred_rate, -c.seq_len, -c.n_hidden))
     return best, choices

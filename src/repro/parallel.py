@@ -1,0 +1,75 @@
+"""Parallel run orchestration: fan independent units across processes.
+
+The ACT pipeline is full of embarrassingly parallel loops whose items
+share nothing: correct-run collection (each run gets its own seed),
+post-failure pruning runs, per-thread offline training, and the
+topology-search grid. :func:`run_tasks` executes such a loop across a
+``ProcessPoolExecutor`` while keeping the *observable result identical*
+to the serial loop:
+
+- every item's inputs (seeds included) are fixed up front, so workers
+  compute exactly what the serial iteration would have computed;
+- ``Executor.map`` returns results in item order and raises the
+  *earliest* item's exception first, matching a serial loop's failure;
+- pool workers record telemetry into fresh child registries and ship
+  snapshots back; the parent merges them in item order, reproducing the
+  serial counter/histogram totals (see
+  :meth:`~repro.telemetry.registry.Registry.merge_snapshot`).
+
+Work functions and items must be picklable: module-level functions with
+plain-data payloads. Callers pass ``jobs=None``/``1`` for the plain
+serial loop (the default everywhere) or ``jobs=N``; ``jobs<=0`` means
+one worker per CPU.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro import telemetry
+
+
+def resolve_jobs(jobs):
+    """Normalise a ``--jobs`` value: None/1 -> serial, <=0 -> cpu count."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _invoke(payload):
+    """Pool-worker trampoline: run one item, capturing child telemetry."""
+    fn, item, capture = payload
+    if not capture:
+        return fn(item), None
+    with telemetry.use_registry(telemetry.Registry()) as reg:
+        out = fn(item)
+    return out, reg.snapshot()
+
+
+def run_tasks(fn, items, jobs=None):
+    """Apply ``fn`` to every item, optionally across worker processes.
+
+    Serial (``jobs`` None/1) and parallel execution produce identical
+    results, identical exceptions, and identical telemetry counter and
+    histogram totals. ``fn`` must be a picklable callable of one item.
+
+    Returns the list of results in item order.
+    """
+    items = list(items)
+    n_workers = min(resolve_jobs(jobs), len(items))
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    tele = telemetry.get_registry()
+    capture = tele.enabled
+    payloads = [(fn, item, capture) for item in items]
+    with ProcessPoolExecutor(max_workers=n_workers) as ex:
+        packed = list(ex.map(_invoke, payloads))
+    if tele.enabled:
+        tele.inc("parallel.batches")
+        tele.inc("parallel.tasks", len(items))
+        for _out, snap in packed:
+            if snap:
+                tele.merge_snapshot(snap)
+    return [out for out, _snap in packed]

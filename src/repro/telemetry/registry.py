@@ -174,6 +174,49 @@ class Registry:
             "spans": [s.to_dict() for s in self.tracer.roots],
         }
 
+    @staticmethod
+    def _parse_bucket_key(key):
+        # to_dict stringifies bucket keys; int observations must come
+        # back as ints (5 and 5.0 hash alike, but "5" round-trips as 5).
+        try:
+            return int(key)
+        except ValueError:
+            return float(key)
+
+    def merge_snapshot(self, snap):
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The parallel executor's pool workers record into fresh child
+        registries and ship snapshots back; merging them in work order
+        reproduces the exact counter and histogram totals a serial run
+        would have accumulated. Gauges take the incoming value (last
+        writer wins, as in serial execution); spans are not merged --
+        worker-side spans would interleave meaninglessly with the
+        parent's open span stack.
+        """
+        for name, value in snap.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, hd in snap.get("histograms", {}).items():
+            if not hd.get("count"):
+                continue
+            h = self.histogram(name)
+            h.count += hd["count"]
+            h.sum += hd["sum"]
+            for bound in ("min", "max"):
+                v = hd.get(bound)
+                if v is None:
+                    continue
+                cur = getattr(h, bound)
+                if cur is None or (v < cur if bound == "min" else v > cur):
+                    setattr(h, bound, v)
+            for key, n in hd.get("buckets", {}).items():
+                b = self._parse_bucket_key(key)
+                h.buckets[b] = h.buckets.get(b, 0) + n
+
 
 class _NullCounter(Counter):
     __slots__ = ()
@@ -223,6 +266,9 @@ class NullRegistry(Registry):
         pass
 
     def observe(self, name, value):
+        pass
+
+    def merge_snapshot(self, snap):
         pass
 
     def span(self, name, **attrs):

@@ -104,6 +104,22 @@ class CodeMap:
     def pcs_in_function(self, function):
         return [pc for pc, s in self._sites.items() if s.function == function]
 
+    def memory_pcs(self):
+        """Sorted pcs of the memory (load/store) instructions.
+
+        The public view consumers like :class:`~repro.core.encoding.
+        DepEncoder` need: only memory instructions participate in RAW
+        dependences.
+        """
+        return sorted(pc for pc, s in self._sites.items()
+                      if s.kind.is_memory())
+
+    def store_pcs(self):
+        """Sorted pcs of the store instructions (the negative-example
+        corruption universe of offline training)."""
+        return sorted(pc for pc, s in self._sites.items()
+                      if s.kind == EventKind.STORE)
+
     def __len__(self):
         return len(self._sites)
 

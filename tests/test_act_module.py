@@ -137,3 +137,35 @@ class TestArchitecturalState:
         m.context_switch_in(saved)
         # after restore the module warms up again
         assert m.process_dep(_dep(2)) is None
+
+
+class TestWindowRateBounding:
+    def test_window_rates_keep_only_tail(self):
+        cfg = ACTConfig(seq_len=2, check_window=2, mispred_threshold=0.99,
+                        window_rate_tail=5)
+        pcs = [0x100 + 4 * i for i in range(20)]
+        m = ACTModule(config=cfg, encoder=DepEncoder(pcs=pcs))
+        for i in range(40):
+            m.process_dep(_dep(i % 10))
+        assert m.stats.windows_checked > 5
+        assert len(m.stats.window_rates) == 5
+        # Aggregates still cover every window, not just the tail.
+        assert m.stats.window_rate_sum >= sum(m.stats.window_rates)
+        assert m.stats.window_rate_max >= max(m.stats.window_rates)
+
+    def test_mean_window_rate_exact(self):
+        from repro.core.act_module import AMStats
+        stats = AMStats()
+        for rate in (0.0, 0.5, 1.0, 0.25):
+            stats.record_window_rate(rate)
+        assert stats.windows_checked == 4
+        assert stats.mean_window_rate == pytest.approx(0.4375)
+        assert stats.window_rate_max == 1.0
+
+    def test_mean_window_rate_empty(self):
+        from repro.core.act_module import AMStats
+        assert AMStats().mean_window_rate == 0.0
+
+    def test_tail_validated(self):
+        with pytest.raises(Exception):
+            ACTConfig(window_rate_tail=0)

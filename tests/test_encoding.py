@@ -81,3 +81,66 @@ class TestDepEncoding:
         a = enc.encode_seq((RawDep(0x10, 0x20),))
         b = enc.encode_seq((RawDep(0x30, 0x20),))
         assert not np.allclose(a, b)
+
+
+class TestVectorisedPaths:
+    """The batched encoders must be bit-identical to the scalar ones."""
+
+    def _encoder(self):
+        return DepEncoder(pcs=[0x10, 0x20, 0x30, 0x40, 0x50])
+
+    def _stream(self, n=40):
+        pcs = [0x10, 0x20, 0x30, 0x40, 0x50, 0xBEEF, 0x9999]
+        return [RawDep(pcs[i % len(pcs)], pcs[(i * 3 + 1) % len(pcs)],
+                       inter_thread=(i % 3 == 0)) for i in range(n)]
+
+    def test_codes_of_matches_code_of(self):
+        enc = self._encoder()
+        pcs = [0x10, 0x30, 0x50, 0xBEEF, 0x9999, 0x20]  # incl. unseen
+        batch = enc.codes_of(pcs)
+        for pc, code in zip(pcs, batch):
+            assert float(code) == enc.code_of(pc)
+
+    def test_encode_stream_matches_encode_dep(self):
+        enc = self._encoder()
+        deps = self._stream(17)
+        flat = enc.encode_stream(deps)
+        assert flat.shape == (34,)
+        for i, dep in enumerate(deps):
+            s, l = enc.encode_dep(dep)
+            assert flat[2 * i] == s
+            assert flat[2 * i + 1] == l
+
+    def test_encode_windows_matches_encode_seq(self):
+        enc = self._encoder()
+        deps = self._stream(25)
+        for seq_len in (1, 2, 3, 5):
+            xs = enc.encode_windows(deps, seq_len)
+            assert xs.shape == (len(deps) - seq_len + 1, 2 * seq_len)
+            for r in range(xs.shape[0]):
+                ref = enc.encode_seq(tuple(deps[r:r + seq_len]))
+                assert np.array_equal(xs[r], ref)
+
+    def test_encode_windows_short_stream_is_empty(self):
+        enc = self._encoder()
+        xs = enc.encode_windows(self._stream(2), 5)
+        assert xs.shape == (0, 10)
+
+    def test_encode_many_empty_with_seq_len_hint(self):
+        enc = self._encoder()
+        xs = enc.encode_many([], seq_len=4)
+        assert xs.shape == (0, 8)
+
+    def test_encode_many_matches_encode_seq(self):
+        enc = self._encoder()
+        deps = self._stream(12)
+        seqs = [tuple(deps[i:i + 3]) for i in range(0, 9, 3)]
+        xs = enc.encode_many(seqs, seq_len=3)
+        for row, seq in zip(xs, seqs):
+            assert np.array_equal(row, enc.encode_seq(seq))
+
+    def test_encode_many_rejects_ragged(self):
+        enc = self._encoder()
+        deps = self._stream(5)
+        with pytest.raises(ConfigError):
+            enc.encode_many([tuple(deps[:2]), tuple(deps[:3])])

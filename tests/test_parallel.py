@@ -1,0 +1,141 @@
+"""Serial vs --jobs determinism (repro.parallel).
+
+Parallel orchestration must be invisible in the results: identical
+runs, identical trained weights, identical diagnosis reports, identical
+telemetry counter totals, identical exceptions.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.common.errors import ReproError, SimulatedFailure
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.core.offline import OfflineTrainer, collect_correct_runs
+from repro.parallel import resolve_jobs, run_tasks
+from repro.workloads.registry import get_bug
+
+_CONFIG = ACTConfig()
+
+
+def _double(x):  # module-level: must be picklable for the pool
+    return 2 * x
+
+
+class TestResolveJobs:
+    def test_defaults_to_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_explicit_count(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) >= 1
+
+
+class TestRunTasks:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(7))
+        assert (run_tasks(_double, items)
+                == run_tasks(_double, items, jobs=2)
+                == [2 * i for i in items])
+
+    def test_empty_items(self):
+        assert run_tasks(_double, [], jobs=4) == []
+
+    def test_records_pool_telemetry(self):
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            run_tasks(_double, [1, 2, 3], jobs=2)
+        counters = reg.snapshot()["counters"]
+        assert counters["parallel.batches"] == 1
+        assert counters["parallel.tasks"] == 3
+
+
+class TestSimulatedFailurePickle:
+    def test_roundtrip_keeps_context(self):
+        err = SimulatedFailure("boom", tid=3, pc=0x40)
+        back = pickle.loads(pickle.dumps(err))
+        assert back.description == "boom"
+        assert back.tid == 3
+        assert back.pc == 0x40
+
+
+class TestCollectRuns:
+    def test_parallel_runs_identical(self):
+        program = get_bug("gzip")
+        serial = collect_correct_runs(program, 5, seed0=0, buggy=False)
+        parallel = collect_correct_runs(program, 5, seed0=0, jobs=2,
+                                        buggy=False)
+        assert [r.seed for r in serial] == [r.seed for r in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.events == b.events
+
+    def test_parallel_failure_matches_serial(self):
+        program = get_bug("gzip")
+        with pytest.raises(ReproError) as serial_err:
+            collect_correct_runs(program, 3, seed0=12345, buggy=True)
+        with pytest.raises(ReproError) as parallel_err:
+            collect_correct_runs(program, 3, seed0=12345, jobs=2,
+                                 buggy=True)
+        assert str(serial_err.value) == str(parallel_err.value)
+
+    def test_telemetry_totals_match(self):
+        program = get_bug("gzip")
+        with telemetry.use_registry(telemetry.Registry()) as ser_reg:
+            collect_correct_runs(program, 4, seed0=0, buggy=False)
+        with telemetry.use_registry(telemetry.Registry()) as par_reg:
+            collect_correct_runs(program, 4, seed0=0, jobs=2, buggy=False)
+        ser = ser_reg.snapshot()
+        par = par_reg.snapshot()
+        for key, value in ser["counters"].items():
+            if key.startswith("parallel."):
+                continue
+            assert par["counters"][key] == value, key
+        for key, value in ser["histograms"].items():
+            assert par["histograms"][key] == value, key
+
+
+class TestTrainingAndDiagnosis:
+    def test_per_thread_training_identical(self):
+        program = get_bug("gzip")
+        runs = collect_correct_runs(program, 4, seed0=0, buggy=False)
+        trainer = OfflineTrainer(config=_CONFIG)
+        serial = trainer.train(runs=runs, pool_threads=False)
+        parallel = trainer.train(runs=runs, pool_threads=False, jobs=2)
+        assert set(serial.weights) == set(parallel.weights)
+        for tid in serial.weights:
+            assert np.array_equal(serial.weights[tid],
+                                  parallel.weights[tid])
+        assert np.array_equal(serial.default_weights,
+                              parallel.default_weights)
+
+    def test_topology_search_identical(self):
+        program = get_bug("gzip")
+        runs = collect_correct_runs(program, 5, seed0=0, buggy=False)
+        trainer = OfflineTrainer(config=_CONFIG)
+        best_s, choices_s, _ = trainer.search(
+            train_runs=runs[:3], test_runs=runs[3:],
+            seq_lens=(2, 3), hidden_widths=(2, 4))
+        best_p, choices_p, _ = trainer.search(
+            train_runs=runs[:3], test_runs=runs[3:],
+            seq_lens=(2, 3), hidden_widths=(2, 4), jobs=2)
+        assert (best_s.seq_len, best_s.n_hidden) == (best_p.seq_len,
+                                                     best_p.n_hidden)
+        assert len(choices_s) == len(choices_p)
+        for a, b in zip(choices_s, choices_p):
+            assert (a.seq_len, a.n_hidden, a.mispred_rate) == (
+                b.seq_len, b.n_hidden, b.mispred_rate)
+            assert np.array_equal(a.result.net.read_weights(),
+                                  b.result.net.read_weights())
+
+    def test_diagnosis_report_identical(self):
+        program = get_bug("gzip")
+        kwargs = dict(config=_CONFIG, n_train_runs=4, n_pruning_runs=6)
+        serial = diagnose_failure(program, **kwargs)
+        parallel = diagnose_failure(program, jobs=2, **kwargs)
+        assert serial == parallel
