@@ -6,6 +6,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli diagnose gzip
     python -m repro.cli diagnose mysql1 --debug-buffer 120
     python -m repro.cli diagnose gzip --telemetry profile.json
+    python -m repro.cli diagnose gzip --checkpoint ck.json    # resumable
+    python -m repro.cli diagnose gzip --resume ck.json
+    python -m repro.cli diagnose gzip --faults seed=3,run_corrupt=0.3 \
+        --quarantine-report quarantine.json
     python -m repro.cli trace lu --seed 3 --out lu.jsonl
     python -m repro.cli experiment table5 --preset fast
     python -m repro.cli profile gzip          # telemetry phase/counter table
@@ -28,8 +32,10 @@ import sys
 
 from repro import __version__, telemetry
 from repro.analysis.experiments import experiment_names, run_experiment
+from repro.common.errors import CheckpointError, ReproError
 from repro.core.config import ACTConfig
 from repro.core.diagnosis import diagnose_failure
+from repro.faults import FaultPlan, Quarantine
 from repro.telemetry import format_profile, profile_dict, read_profile
 from repro.trace.trace_io import write_trace
 from repro.workloads.framework import run_program
@@ -53,11 +59,34 @@ def _cmd_diagnose(args):
     config = ACTConfig(seq_len=args.seq_len,
                        debug_buffer=args.debug_buffer,
                        mispred_threshold=args.threshold)
-    report = diagnose_failure(program, config=config,
-                              n_train_runs=args.train_runs,
-                              n_pruning_runs=args.pruning_runs,
-                              failure_seed=args.seed,
-                              fast=args.fast, jobs=args.jobs)
+    checkpoint = args.checkpoint
+    if args.resume:
+        if not os.path.isfile(args.resume):
+            print(f"error: checkpoint {args.resume!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        checkpoint = args.resume
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.from_spec(args.faults)
+        except ReproError as e:
+            print(f"error: bad --faults spec: {e}", file=sys.stderr)
+            return 2
+    quarantine = None
+    if plan is not None or args.quarantine_report:
+        quarantine = Quarantine()
+    try:
+        report = diagnose_failure(program, config=config,
+                                  n_train_runs=args.train_runs,
+                                  n_pruning_runs=args.pruning_runs,
+                                  failure_seed=args.seed,
+                                  fast=args.fast, jobs=args.jobs,
+                                  faults=plan, quarantine=quarantine,
+                                  checkpoint=checkpoint)
+    except CheckpointError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     print(f"program          : {report.program}")
     print(f"failure          : {report.failure_description}")
     print(f"deps observed    : {report.n_deps} "
@@ -74,6 +103,12 @@ def _cmd_diagnose(args):
         print(f"  #{i}: store {dep.store_pc:#x} -> load {dep.load_pc:#x} "
               f"({'inter' if dep.inter_thread else 'intra'}-thread, "
               f"matched {f.matched}, output {f.output:.3f})")
+    if quarantine is not None:
+        if len(quarantine):
+            print(quarantine.summary())
+        if args.quarantine_report:
+            quarantine.write_report(args.quarantine_report)
+            print(f"quarantine report written to {args.quarantine_report}")
     return 0 if report.found else 1
 
 
@@ -181,6 +216,19 @@ def build_parser():
                         "reference path instead of the batched fast path")
     d.add_argument("--telemetry", metavar="PATH",
                    help="export a telemetry run profile (json/jsonl)")
+    d.add_argument("--checkpoint", metavar="PATH",
+                   help="save checksummed phase snapshots to PATH "
+                        "(created if missing, resumed if present)")
+    d.add_argument("--resume", metavar="PATH",
+                   help="resume a diagnosis from an existing checkpoint "
+                        "(like --checkpoint, but PATH must exist)")
+    d.add_argument("--faults", metavar="SPEC",
+                   help="inject faults from a deterministic plan spec, "
+                        "e.g. 'seed=3,run_corrupt=0.2,worker_kill=0.1' "
+                        "(failed units are quarantined, not fatal)")
+    d.add_argument("--quarantine-report", metavar="PATH",
+                   help="write the quarantine report (skipped units and "
+                        "why) as JSON")
 
     t = sub.add_parser("trace", help="record a workload trace")
     t.add_argument("program")

@@ -94,7 +94,8 @@ class ACTModule:
                 max_inputs=self.config.max_inputs,
                 sigmoid=SigmoidTable(self.config.sigmoid_resolution))
         self.net = net
-        self.input_buffer = InputGeneratorBuffer(self.config.input_gen_buffer)
+        self.input_buffer = InputGeneratorBuffer(self.config.input_gen_buffer,
+                                                 tid=tid)
         self.debug_buffer = DebugBuffer(self.config.debug_buffer)
         self.mode = Mode.TESTING
         self.invalid_counter = 0

@@ -12,24 +12,47 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Tuple
 
+from repro import faults as _faults
 from repro import telemetry
 from repro.common.errors import ConfigError
 
 
 class InputGeneratorBuffer:
-    """FIFO of recent RAW dependences (Table III: 5 entries)."""
+    """FIFO of recent RAW dependences (Table III: 5 entries).
 
-    def __init__(self, capacity=5):
+    ``tid`` names the owning core so the fault layer can key injected
+    FIFO overruns deterministically per (core, push ordinal).
+    """
+
+    def __init__(self, capacity=5, tid=0):
         if capacity < 1:
             raise ConfigError("input generator buffer needs capacity >= 1")
         self.capacity = capacity
+        self.tid = tid
         self._deps = deque(maxlen=capacity)
+        self._pushes = 0
 
     def push(self, dep):
+        self._pushes += 1
+        plan = _faults.get_plan()
+        if plan.enabled and plan.fires("fifo_overflow", self.tid,
+                                       self._pushes):
+            # Injected overrun: the hardware FIFO wrapped before the NN
+            # pipeline drained it, losing the unconsumed entries. The
+            # window restarts from this dependence (a warm-up gap, not
+            # a crash -- predictions resume once the buffer refills).
+            self._deps.clear()
+            telemetry.get_registry().inc("faults.fifo_overflows")
         self._deps.append(dep)
 
     def extend(self, deps):
-        """Push many dependences at once (the batched replay path)."""
+        """Push many dependences at once (the batched replay path).
+
+        Fault plans never fire here: an active plan routes deployment
+        through the scalar path, whose per-push site is authoritative.
+        """
+        deps = list(deps)
+        self._pushes += len(deps)
         self._deps.extend(deps)
 
     def tail(self, k):

@@ -9,7 +9,11 @@ would, and hands it to the owning core's AM.
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import numpy as np
+
+from repro import faults as _faults
 from repro import telemetry
+from repro.common.errors import FaultInjected
 from repro.trace.raw import RawDepExtractor
 
 
@@ -42,8 +46,36 @@ class DeploymentResult:
         return sum(m.stats.mode_switches for m in self.modules.values())
 
 
+def _heal_module(module, trained, tid, quarantine):
+    """Repair a module whose NN weights are non-finite (fault recovery).
+
+    A ``weight_flip`` fault (or genuine bit-rot in restored weights)
+    leaves NaN/Inf in the weight registers, which would silently poison
+    every prediction for the run. Detection is the ``chkwt`` sanity pass
+    a real deployment performs on context-switch-in: if any register is
+    non-finite the module falls back to the pooled default weights (or
+    zeros when those are damaged too), the incident is quarantined, and
+    replay continues.
+    """
+    flat = module.net.read_weights()
+    if np.isfinite(flat).all():
+        return module
+    fallback = np.asarray(trained.default_weights, dtype=float)
+    if not np.isfinite(fallback).all():
+        fallback = np.zeros_like(flat)
+    module.net.write_weights(fallback)
+    telemetry.get_registry().inc("faults.weights_healed")
+    if quarantine is not None:
+        quarantine.admit(
+            "deploy.weights", tid,
+            FaultInjected("non-finite NN weights healed with default "
+                          f"weights (tid {tid})",
+                          site="weight_flip", key=tid))
+    return module
+
+
 def deploy_on_run(trained, run, keep_records=False, fast=True,
-                  chunk_size=None):
+                  chunk_size=None, quarantine=None):
     """Feed every RAW dependence of ``run`` through per-thread AMs.
 
     Args:
@@ -55,13 +87,20 @@ def deploy_on_run(trained, run, keep_records=False, fast=True,
         fast: route through the batched replay fast path
             (:mod:`repro.core.fastpath`), which is bit-identical to the
             scalar replay; pass ``fast=False`` to force the reference
-            per-dependence path.
+            per-dependence path. An active fault plan also forces the
+            scalar path -- the per-push FIFO-overrun site lives there.
         chunk_size: fast-path chunk size override (None for the default).
+        quarantine: optional :class:`~repro.faults.Quarantine`; records
+            healed weight damage instead of replaying with NaN weights.
 
     Returns:
         :class:`DeploymentResult` with the AMs (and their debug buffers)
         in their end-of-run state.
     """
+    plan = _faults.get_plan()
+    if plan.enabled:
+        fast = False
+    heal = plan.enabled or quarantine is not None
     if fast:
         from repro.core import fastpath
         if chunk_size is None:
@@ -69,7 +108,14 @@ def deploy_on_run(trained, run, keep_records=False, fast=True,
         return fastpath.replay_run(trained, run, keep_records=keep_records,
                                    chunk_size=chunk_size)
     cfg = trained.config
-    modules = {tid: trained.make_module(tid) for tid in range(run.n_threads)}
+
+    def fresh_module(tid):
+        module = trained.make_module(tid)
+        if heal:
+            module = _heal_module(module, trained, tid, quarantine)
+        return module
+
+    modules = {tid: fresh_module(tid) for tid in range(run.n_threads)}
     extractor = RawDepExtractor(filter_stack=cfg.filter_stack_loads)
     result = DeploymentResult(modules=modules)
     for index, event in enumerate(run.events):
@@ -78,7 +124,7 @@ def deploy_on_run(trained, run, keep_records=False, fast=True,
             continue
         module = modules.get(rec.tid)
         if module is None:  # thread spawned beyond the trained set
-            module = trained.make_module(rec.tid)
+            module = fresh_module(rec.tid)
             modules[rec.tid] = module
         result.n_deps += 1
         pred = module.process_dep(rec.dep)

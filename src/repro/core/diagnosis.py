@@ -6,16 +6,36 @@
 3. After the failure, collect the Debug Buffers, build a Correct Set
    from ~20 fresh correct runs, prune and rank.
 4. Report where the ground-truth root-cause dependence landed.
+
+Resilience hooks (all inert by default, zero-fault runs are
+bit-identical to a plain call):
+
+- ``faults``: a :class:`~repro.faults.FaultPlan` activated for the whole
+  diagnosis; its injected damage is absorbed by the quarantine instead
+  of aborting the pipeline.
+- ``quarantine``: a :class:`~repro.faults.Quarantine` that records every
+  skipped run / healed module; attached to the report when non-empty.
+- ``checkpoint``: a path (or open :class:`~repro.faults.Checkpoint`)
+  holding checksummed phase snapshots -- trained weights, per-run
+  pruning sequences, and the final report -- so a killed diagnosis can
+  be resumed and produce the identical report without redoing finished
+  phases.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro import faults as _faults
 from repro import telemetry
+from repro.common.errors import ReproError
 from repro.core.config import ACTConfig
 from repro.core.deploy import deploy_on_run
-from repro.core.offline import OfflineTrainer, collect_correct_runs
-from repro.core.postprocess import CorrectSet, postprocess
+from repro.core.offline import (OfflineTrainer, TrainedACT,
+                                collect_runs_for_seeds,
+                                sequences_from_payload, sequences_to_payload)
+from repro.core.postprocess import CorrectSet, postprocess, run_sequences
+from repro.faults import Checkpoint
+from repro.parallel import resolve_jobs
 from repro.workloads.framework import run_program
 
 
@@ -38,9 +58,92 @@ class DiagnosisReport:
     n_invalid: int = 0
     mode_switches: int = 0
     notes: list = field(default_factory=list)
+    quarantine: Optional[dict] = None
 
     def top(self, k=5):
         return self.findings[:k]
+
+
+def _fingerprint(program, config, n_train_runs, train_seed0, failure_seed,
+                 n_pruning_runs, pruning_seed0, failure_params,
+                 correct_params, pruning_params, root_cause):
+    """Checkpoint identity for one diagnosis: everything that shapes the
+    result. ``jobs``/``fast`` are excluded -- they never change outputs,
+    so a serial run may resume a parallel one and vice versa."""
+    return {
+        "program": getattr(program, "name", "?"),
+        "config": asdict(config),
+        "n_train_runs": n_train_runs, "train_seed0": train_seed0,
+        "failure_seed": failure_seed,
+        "n_pruning_runs": n_pruning_runs, "pruning_seed0": pruning_seed0,
+        "failure_params": failure_params, "correct_params": correct_params,
+        "pruning_params": pruning_params,
+        "root_cause": (sorted([int(s), int(l)] for s, l in root_cause)
+                       if root_cause else None),
+    }
+
+
+def _report_to_payload(report):
+    """JSON-safe snapshot of a report (checkpoint "report" phase)."""
+    return {
+        "program": report.program,
+        "failed": report.failed,
+        "found": report.found,
+        "rank": report.rank,
+        "debug_buffer_position": report.debug_buffer_position,
+        "filter_pct": float(report.filter_pct),
+        "n_debug_entries": report.n_debug_entries,
+        "debug_overflowed": report.debug_overflowed,
+        "findings": [
+            {"seq": sequences_to_payload([f.seq])[0],
+             "matched": f.matched, "output": float(f.output),
+             "tid": f.tid, "index": f.index}
+            for f in report.findings],
+        "root_cause": (sorted([int(s), int(l)] for s, l in report.root_cause)
+                       if report.root_cause else None),
+        "failure_description": report.failure_description,
+        "n_deps": report.n_deps,
+        "n_invalid": report.n_invalid,
+        "mode_switches": report.mode_switches,
+        "notes": list(report.notes),
+    }
+
+
+def _report_from_payload(payload):
+    """Inverse of :func:`_report_to_payload` (exact: float repr survives
+    the JSON round trip bit-for-bit)."""
+    from repro.core.postprocess import RankedFinding
+    findings = [
+        RankedFinding(seq=sequences_from_payload([f["seq"]])[0],
+                      matched=f["matched"], output=f["output"],
+                      tid=f["tid"], index=f["index"])
+        for f in payload["findings"]]
+    root_cause = (set((s, l) for s, l in payload["root_cause"])
+                  if payload["root_cause"] else None)
+    return DiagnosisReport(
+        program=payload["program"], failed=payload["failed"],
+        found=payload["found"], rank=payload["rank"],
+        debug_buffer_position=payload["debug_buffer_position"],
+        filter_pct=payload["filter_pct"],
+        n_debug_entries=payload["n_debug_entries"],
+        debug_overflowed=payload["debug_overflowed"],
+        findings=findings, root_cause=root_cause,
+        failure_description=payload["failure_description"],
+        n_deps=payload["n_deps"], n_invalid=payload["n_invalid"],
+        mode_switches=payload["mode_switches"],
+        notes=list(payload["notes"]))
+
+
+def _aborted_report(program, error, quarantine):
+    """Terminal report for a diagnosis whose training phase was lost."""
+    report = DiagnosisReport(
+        program=getattr(program, "name", "?"), failed=False, found=False,
+        rank=None, debug_buffer_position=None, filter_pct=0.0,
+        n_debug_entries=0, debug_overflowed=False)
+    report.notes.append(f"offline training aborted: {error}")
+    if quarantine is not None and len(quarantine):
+        report.quarantine = quarantine.report_dict()
+    return report
 
 
 def diagnose_failure(program, config=None, trained=None,
@@ -49,7 +152,8 @@ def diagnose_failure(program, config=None, trained=None,
                      n_pruning_runs=20, pruning_seed0=100,
                      failure_params=None, correct_params=None,
                      pruning_params=None, root_cause=None,
-                     fast=True, jobs=None):
+                     fast=True, jobs=None,
+                     faults=None, quarantine=None, checkpoint=None):
     """Diagnose ``program``'s failure with the full ACT pipeline.
 
     Args:
@@ -72,11 +176,21 @@ def diagnose_failure(program, config=None, trained=None,
         root_cause: override the program's ground-truth dependence keys.
         fast: replay the failure run through the batched fast path
             (bit-identical to the scalar replay; ``fast=False`` forces
-            the reference per-dependence path).
+            the reference per-dependence path). An active fault plan
+            forces the scalar path regardless.
         jobs: run independent units (correct-run collection, pruning
             runs, offline training) across ``jobs`` worker processes.
             ``None``/1 keeps everything serial; results are identical
             either way.
+        faults: :class:`~repro.faults.FaultPlan` to activate for the
+            whole diagnosis (defaults to the ambient plan; the zero
+            plan is a no-op and preserves bit-identical output).
+        quarantine: :class:`~repro.faults.Quarantine` collecting
+            skip-and-report records for faulted runs; when provided,
+            injected faults degrade coverage instead of raising.
+        checkpoint: path (or open :class:`~repro.faults.Checkpoint`)
+            for crash-resumable phase snapshots; a finished phase found
+            there is reused instead of recomputed.
 
     Returns:
         :class:`DiagnosisReport`.
@@ -86,24 +200,55 @@ def diagnose_failure(program, config=None, trained=None,
     correct_params = dict(correct_params or {"buggy": False})
     pruning_params = dict(pruning_params if pruning_params is not None
                           else correct_params)
+    plan = faults if faults is not None else _faults.get_plan()
+    if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+        fingerprint = _fingerprint(
+            program, config, n_train_runs, train_seed0, failure_seed,
+            n_pruning_runs, pruning_seed0, failure_params, correct_params,
+            pruning_params, root_cause)
+        checkpoint = Checkpoint.open(checkpoint, "diagnosis", fingerprint)
     tele = telemetry.get_registry()
-    with tele.span("diagnose", program=getattr(program, "name", "?")):
-        return _diagnose_phases(
-            program, config, trained, tele, n_train_runs, train_seed0,
-            failure_seed, n_pruning_runs, pruning_seed0, failure_params,
-            correct_params, pruning_params, root_cause, fast, jobs)
+    with _faults.use_plan(plan):
+        with tele.span("diagnose", program=getattr(program, "name", "?")):
+            return _diagnose_phases(
+                program, config, trained, tele, n_train_runs, train_seed0,
+                failure_seed, n_pruning_runs, pruning_seed0, failure_params,
+                correct_params, pruning_params, root_cause, fast, jobs,
+                quarantine, checkpoint)
 
 
 def _diagnose_phases(program, config, trained, tele, n_train_runs,
                      train_seed0, failure_seed, n_pruning_runs,
                      pruning_seed0, failure_params, correct_params,
-                     pruning_params, root_cause, fast=True, jobs=None):
+                     pruning_params, root_cause, fast=True, jobs=None,
+                     quarantine=None, checkpoint=None):
+    if checkpoint is not None:
+        cached = checkpoint.get("report")
+        if cached is not None:
+            report = _report_from_payload(cached)
+            if quarantine is not None and len(quarantine):
+                report.quarantine = quarantine.report_dict()
+            return report
+
     if trained is None:
-        with tele.span("diagnose.offline_train", n_runs=n_train_runs):
-            trainer = OfflineTrainer(config=config)
-            trained = trainer.train(program, n_runs=n_train_runs,
-                                    seed0=train_seed0, jobs=jobs,
-                                    **correct_params)
+        cached = checkpoint.get("trained") if checkpoint is not None else None
+        if cached is not None:
+            trained = TrainedACT.from_payload(cached, config)
+        else:
+            try:
+                with tele.span("diagnose.offline_train",
+                               n_runs=n_train_runs):
+                    trainer = OfflineTrainer(config=config)
+                    trained = trainer.train(program, n_runs=n_train_runs,
+                                            seed0=train_seed0, jobs=jobs,
+                                            quarantine=quarantine,
+                                            **correct_params)
+            except ReproError as e:
+                if quarantine is None:
+                    raise
+                return _aborted_report(program, e, quarantine)
+            if checkpoint is not None:
+                checkpoint.put("trained", trained.to_payload())
 
     # --- The production failure run ----------------------------------
     with tele.span("diagnose.failure_run", seed=failure_seed):
@@ -118,12 +263,15 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
         failure_description=str(failure_run.failure) if failure_run.failure else "")
     if not failure_run.failed:
         report.notes.append("failure run did not fail; nothing to diagnose")
+        if checkpoint is not None:
+            checkpoint.put("report", _report_to_payload(report))
         return report
     if not truth:
         report.notes.append("program provides no ground-truth root cause")
 
     with tele.span("diagnose.deploy"):
-        deployment = deploy_on_run(trained, failure_run, fast=fast)
+        deployment = deploy_on_run(trained, failure_run, fast=fast,
+                                   quarantine=quarantine)
     report.n_deps = deployment.n_deps
     report.n_invalid = deployment.n_invalid
     report.mode_switches = deployment.n_mode_switches
@@ -152,11 +300,18 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
     with tele.span("diagnose.pruning_runs", n_runs=n_pruning_runs):
         correct_set = CorrectSet(config.seq_len,
                                  filter_stack=config.filter_stack_loads)
-        pruning_runs = collect_correct_runs(program, n_pruning_runs,
-                                            seed0=pruning_seed0, jobs=jobs,
-                                            **pruning_params)
-        for run in pruning_runs:
-            correct_set.add_run(run)
+        seeds = list(range(pruning_seed0, pruning_seed0 + n_pruning_runs))
+        if checkpoint is None:
+            pruning_runs = collect_runs_for_seeds(program, seeds, jobs=jobs,
+                                                  quarantine=quarantine,
+                                                  **pruning_params)
+            for run in pruning_runs:
+                if run is not None:
+                    correct_set.add_run(run)
+        else:
+            _pruning_with_checkpoint(program, config, seeds, jobs,
+                                     quarantine, checkpoint, pruning_params,
+                                     correct_set)
 
     with tele.span("diagnose.ranking"):
         entries = deployment.debug_entries()
@@ -171,7 +326,60 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
         tele.inc("diagnose.runs")
         if report.found:
             tele.inc("diagnose.found")
+    if quarantine is not None and len(quarantine):
+        report.quarantine = quarantine.report_dict()
+    if checkpoint is not None:
+        checkpoint.put("report", _report_to_payload(report))
     return report
+
+
+def _pruning_with_checkpoint(program, config, seeds, jobs, quarantine,
+                             checkpoint, pruning_params, correct_set):
+    """Collect pruning runs with per-seed checkpoint snapshots.
+
+    Each finished run's dependence sequences are persisted under the
+    ``pruning:<seed>`` phase; a resumed diagnosis replays the cached
+    sequences and collects only the missing seeds. Serial collection
+    saves after every seed (a crash loses at most one run); parallel
+    collection saves the whole batch once.
+    """
+    seq_by_seed = {}
+    pending = []
+    for seed in seeds:
+        cached = checkpoint.get(f"pruning:{seed}")
+        if cached is not None:
+            seq_by_seed[seed] = sequences_from_payload(cached["sequences"])
+        else:
+            pending.append(seed)
+    if pending and resolve_jobs(jobs) <= 1:
+        for seed in pending:
+            run = collect_runs_for_seeds(program, [seed],
+                                         quarantine=quarantine,
+                                         **pruning_params)[0]
+            if run is None:
+                continue
+            seqs = run_sequences(run, config.seq_len,
+                                 filter_stack=config.filter_stack_loads)
+            seq_by_seed[seed] = seqs
+            checkpoint.put(f"pruning:{seed}",
+                           {"sequences": sequences_to_payload(seqs)})
+    elif pending:
+        runs = collect_runs_for_seeds(program, pending, jobs=jobs,
+                                      quarantine=quarantine,
+                                      **pruning_params)
+        for seed, run in zip(pending, runs):
+            if run is None:
+                continue
+            seqs = run_sequences(run, config.seq_len,
+                                 filter_stack=config.filter_stack_loads)
+            seq_by_seed[seed] = seqs
+            checkpoint.put(f"pruning:{seed}",
+                           {"sequences": sequences_to_payload(seqs)},
+                           save=False)
+        checkpoint.save()
+    for seed in seeds:
+        if seed in seq_by_seed:
+            correct_set.add_sequences(seq_by_seed[seed])
 
 
 def diagnose_with_buffer_escalation(program, config=None, max_buffer=960,

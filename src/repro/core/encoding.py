@@ -63,6 +63,11 @@ class DepEncoder:
         self._codes = {pc: float(c) for pc, c in zip(pcs, self._code_arr)}
         self.n_pcs = n
 
+    @property
+    def pcs(self):
+        """The sorted static pc universe (rebuilds an identical encoder)."""
+        return [int(pc) for pc in self._pc_arr]
+
     def code_of(self, pc):
         """Code in ``(0, 1)`` for a pc; unseen pcs hash deterministically."""
         code = self._codes.get(pc)

@@ -15,8 +15,9 @@ from typing import Dict
 
 import numpy as np
 
+from repro import faults as _faults
 from repro import telemetry
-from repro.common.errors import ReproError
+from repro.common.errors import FaultInjected, ReproError
 from repro.core.act_module import ACTModule
 from repro.core.config import ACTConfig
 from repro.core.encoding import DepEncoder
@@ -38,31 +39,67 @@ from repro.workloads.framework import run_program
 def _correct_run_task(payload):
     """Picklable work item for one training/pruning execution."""
     program, seed, params = payload
-    return run_program(program, seed=seed, **params)
+    run = run_program(program, seed=seed, **params)
+    plan = _faults.get_plan()
+    if plan.enabled and plan.fires("run_corrupt", seed):
+        # The modelled failure is run-level corruption (a tracer that
+        # wedged, a disk that lied): the execution happened but its
+        # trace cannot be trusted, so the whole run must be discarded.
+        raise FaultInjected(f"injected corrupt run (seed {seed})",
+                            site="run_corrupt", key=seed)
+    return run
 
 
-def collect_correct_runs(program, n_runs, seed0=0, jobs=None, **params):
-    """Run ``program`` ``n_runs`` times with distinct seeds; all must pass.
+def collect_runs_for_seeds(program, seeds, jobs=None, quarantine=None,
+                           **params):
+    """Run ``program`` once per seed; every run must pass.
 
     These model the paper's test-suite executions used for offline
-    training and for building the post-processing Correct Set. Each run
-    gets its own seed (``seed0``, ``seed0 + 1``, ...) so ``jobs > 1``
-    collects the exact same runs across a process pool.
+    training and for building the post-processing Correct Set. Seeds
+    are fixed up front, so ``jobs > 1`` collects the exact same runs
+    across a process pool.
+
+    Without a quarantine, a failed or corrupt run aborts the whole
+    collection (the historical strict behaviour). With one, bad runs
+    are recorded and dropped, and only the clean subset is returned --
+    diagnosing on it is identical to never having scheduled the bad
+    seeds (the differential suite pins this).
     """
     from repro.parallel import run_tasks
 
+    seeds = list(seeds)
     runs = run_tasks(
         _correct_run_task,
-        [(program, seed0 + i, params) for i in range(n_runs)],
-        jobs=jobs)
-    for run in runs:
+        [(program, seed, params) for seed in seeds],
+        jobs=jobs, quarantine=quarantine, phase="offline.collect",
+        keys=seeds)
+    kept = []
+    for seed, run in zip(seeds, runs):
+        if run is None:  # quarantined by run_tasks
+            continue
         if run.failed:
-            raise ReproError(
+            error = ReproError(
                 f"{run.meta.get('program')}: training run with seed "
                 f"{run.seed} failed ({run.failure}); offline training "
                 "uses only correct executions")
-    telemetry.get_registry().inc("offline.correct_runs", len(runs))
-    return runs
+            if quarantine is None:
+                raise error
+            quarantine.admit("offline.collect", seed, error)
+            continue
+        kept.append(run)
+    telemetry.get_registry().inc("offline.correct_runs", len(kept))
+    return kept
+
+
+def collect_correct_runs(program, n_runs, seed0=0, jobs=None,
+                         quarantine=None, **params):
+    """Collect runs for the contiguous seed range ``seed0 .. seed0+n-1``.
+
+    See :func:`collect_runs_for_seeds` for the quarantine semantics.
+    """
+    return collect_runs_for_seeds(
+        program, [seed0 + i for i in range(n_runs)], jobs=jobs,
+        quarantine=quarantine, **params)
 
 
 def sequences_from_runs(runs, seq_len, filter_stack=True, pool_threads=True,
@@ -96,6 +133,20 @@ def sequences_from_runs(runs, seq_len, filter_stack=True, pool_threads=True,
 
 def _dedupe(seqs):
     return list(dict.fromkeys(seqs))
+
+
+def sequences_to_payload(seqs):
+    """JSON-serialisable form of dependence sequences (checkpointing)."""
+    return [[[d.store_pc, d.load_pc, int(d.inter_thread)] for d in seq]
+            for seq in seqs]
+
+
+def sequences_from_payload(payload):
+    """Inverse of :func:`sequences_to_payload`."""
+    from repro.trace.raw import RawDep
+
+    return [tuple(RawDep(int(s), int(l), bool(i)) for s, l, i in seq)
+            for seq in payload]
 
 
 def _store_universe(code_map):
@@ -192,7 +243,15 @@ class TrainedACT:
             self.config.n_inputs, self.config.n_hidden,
             max_inputs=self.config.max_inputs,
             sigmoid=SigmoidTable(self.config.sigmoid_resolution))
-        net.write_weights(self.weights_for(tid))
+        flat = self.weights_for(tid)
+        plan = _faults.get_plan()
+        if plan.enabled and plan.fires("weight_flip", tid):
+            # Injected soft error in the weight register file: one
+            # weight becomes NaN/Inf. Deployment heals it (see
+            # repro.core.deploy) by falling back to pristine weights.
+            flat = _faults.flip_weights(flat, plan, tid)
+            telemetry.get_registry().inc("faults.weight_flips")
+        net.write_weights(flat)
         return net
 
     def make_module(self, tid=0):
@@ -203,6 +262,38 @@ class TrainedACT:
     def record_thread_weights(self, tid, flat):
         """Patch the binary with weights read out at thread exit."""
         self.weights[tid] = np.asarray(flat, dtype=float).copy()
+
+    # -- checkpoint serialisation --------------------------------------
+
+    def to_payload(self):
+        """JSON-serialisable snapshot (weights + encoder + metrics).
+
+        The checkpoint layer (:mod:`repro.faults.checkpoint`) persists
+        this after offline training so a killed diagnosis resumes with
+        the exact trained weights instead of re-running training.
+        """
+        return {
+            "encoder_pcs": [int(pc) for pc in self.encoder.pcs],
+            "weights": {str(tid): [float(w) for w in flat]
+                        for tid, flat in sorted(self.weights.items())},
+            "default_weights": [float(w) for w in self.default_weights],
+            "train_error": float(self.train_error),
+            "test_mispred_rate": float(self.test_mispred_rate),
+            "topology": self.topology,
+        }
+
+    @classmethod
+    def from_payload(cls, payload, config):
+        """Rebuild a TrainedACT from :meth:`to_payload` output."""
+        encoder = DepEncoder(pcs=payload["encoder_pcs"])
+        weights = {int(tid): np.asarray(flat, dtype=float)
+                   for tid, flat in payload["weights"].items()}
+        return cls(config=config, encoder=encoder, weights=weights,
+                   default_weights=np.asarray(payload["default_weights"],
+                                              dtype=float),
+                   train_error=payload["train_error"],
+                   test_mispred_rate=payload["test_mispred_rate"],
+                   topology=payload["topology"])
 
     def train_negative_feedback(self, invalid_seqs, support_runs=None,
                                 learning_rate=None, epochs=500):
@@ -278,29 +369,40 @@ class OfflineTrainer:
         self.train_line_view = train_line_view
 
     def train(self, program=None, runs=None, n_runs=10, seed0=0,
-              pool_threads=True, encoder=None, jobs=None,
+              pool_threads=True, encoder=None, jobs=None, quarantine=None,
               **params) -> TrainedACT:
         """Train from a program (running it) or from pre-collected runs.
 
         ``jobs`` parallelises the independent units (run collection and,
         with ``pool_threads=False``, the per-thread trainings) across
         worker processes; results are identical to the serial path.
+        ``quarantine`` lets corrupt training runs be skipped-and-reported
+        (training proceeds on the clean subset); training on an empty
+        clean subset raises :class:`~repro.common.errors.ReproError`.
         """
         with telemetry.get_registry().span(
                 "offline.train",
                 program=getattr(program, "name", "runs")):
             return self._train(program=program, runs=runs, n_runs=n_runs,
                                seed0=seed0, pool_threads=pool_threads,
-                               encoder=encoder, jobs=jobs, **params)
+                               encoder=encoder, jobs=jobs,
+                               quarantine=quarantine, **params)
 
     def _train(self, program=None, runs=None, n_runs=10, seed0=0,
-               pool_threads=True, encoder=None, jobs=None,
+               pool_threads=True, encoder=None, jobs=None, quarantine=None,
                **params) -> TrainedACT:
         if runs is None:
             if program is None:
                 raise ReproError("need a program or pre-collected runs")
             runs = collect_correct_runs(program, n_runs, seed0=seed0,
-                                        jobs=jobs, **params)
+                                        jobs=jobs, quarantine=quarantine,
+                                        **params)
+            if not runs:
+                raise ReproError(
+                    "no correct training run survived quarantine "
+                    f"({len(quarantine)} of {n_runs} runs quarantined)"
+                    if quarantine is not None else
+                    "no correct training runs collected")
         if encoder is None:
             code_map = runs[0].code_map
             if code_map is None:
@@ -414,15 +516,38 @@ class OfflineTrainer:
     def search(self, program=None, train_runs=None, test_runs=None,
                seq_lens=(1, 2, 3, 4, 5), hidden_widths=None,
                n_train_runs=10, n_test_runs=10, seed0=0, jobs=None,
-               **params):
+               checkpoint=None, **params):
         """Grid-search topologies as in Table IV.
 
         Training examples come from ``train_runs``; the misprediction
         rate is the dynamic false-positive rate over ``test_runs``.
         ``jobs`` spreads run collection and the topology grid across
         worker processes (identical results to serial).
+
+        ``checkpoint`` (a path) persists every evaluated grid point as a
+        checksummed snapshot; a killed search resumed with the same
+        checkpoint re-trains only the missing points and returns the
+        identical winner.
+
         Returns (best TopologyChoice, all choices, encoder).
         """
+        from dataclasses import asdict
+
+        from repro.faults import Checkpoint
+
+        if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+            fingerprint = {
+                "program": getattr(program, "name", "runs"),
+                "config": asdict(self.config),
+                "seq_lens": list(seq_lens),
+                "hidden_widths": (None if hidden_widths is None
+                                  else list(hidden_widths)),
+                "n_train_runs": n_train_runs, "n_test_runs": n_test_runs,
+                "seed0": seed0, "params": params,
+                "train_seed": self.train_config.seed,
+            }
+            checkpoint = Checkpoint.open(checkpoint, "topology-search",
+                                         fingerprint)
         if train_runs is None or test_runs is None:
             runs = collect_correct_runs(program, n_train_runs + n_test_runs,
                                         seed0=seed0, jobs=jobs, **params)
@@ -470,7 +595,7 @@ class OfflineTrainer:
             best, choices = search_topology(
                 example_sets, hidden_widths=hidden_widths,
                 config=self.train_config, max_inputs=self.config.max_inputs,
-                jobs=jobs)
+                jobs=jobs, checkpoint=checkpoint)
         return best, choices, encoder
 
 

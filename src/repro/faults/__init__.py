@@ -1,0 +1,70 @@
+"""Fault injection and resilience for the ACT pipeline.
+
+ACT is a *production-run* diagnosis system, so this reproduction must
+keep diagnosing when the runtime misbehaves: corrupt trace records,
+NaN-poisoned weights, overrun hardware FIFOs, dead ``--jobs`` workers,
+interrupted multi-hour runs. This package provides both halves:
+
+- **Injection** (:mod:`repro.faults.plan`): a seeded, deterministic
+  :class:`FaultPlan` activated process-wide via :func:`use_plan`.
+  Instrumented boundaries (``trace_io``, ``core.buffers``,
+  ``core.offline``, ``repro.parallel``) consult the active plan through
+  :func:`get_plan`; the default :data:`ZERO_PLAN` never fires and costs
+  one attribute check.
+- **Recovery**:
+  :class:`~repro.faults.quarantine.Quarantine` turns per-unit failures
+  into skip-and-report records instead of aborted runs;
+  :func:`repro.parallel.run_tasks` retries killed workers with bounded
+  exponential backoff; and
+  :class:`~repro.faults.checkpoint.Checkpoint` persists checksummed
+  JSON snapshots of trained weights and per-run verdicts so
+  ``diagnose --resume PATH`` continues a killed run and lands on the
+  same final verdicts as an uninterrupted one.
+
+The regression contract (``tests/test_faults_differential.py``): with a
+zero plan every output is byte-identical to the unfaulted path; with
+any plan, diagnosis completes with a quarantine report instead of an
+unhandled exception.
+"""
+
+from contextlib import contextmanager
+
+from repro.faults.checkpoint import (
+    Checkpoint,
+    canonical_json,
+    normalize,
+    payload_checksum,
+)
+from repro.faults.plan import RATE_SITES, ZERO_PLAN, FaultPlan, flip_weights
+from repro.faults.quarantine import Quarantine, QuarantineRecord
+
+__all__ = [
+    "Checkpoint", "FaultPlan", "Quarantine", "QuarantineRecord",
+    "RATE_SITES", "ZERO_PLAN", "canonical_json", "flip_weights",
+    "get_plan", "normalize", "payload_checksum", "set_plan", "use_plan",
+]
+
+_active = ZERO_PLAN
+
+
+def get_plan():
+    """The process-wide active fault plan (ZERO_PLAN when none is set)."""
+    return _active
+
+
+def set_plan(plan):
+    """Install ``plan`` (None resets to ZERO_PLAN); returns the previous."""
+    global _active
+    previous = _active
+    _active = ZERO_PLAN if plan is None else plan
+    return previous
+
+
+@contextmanager
+def use_plan(plan):
+    """Activate ``plan`` for the duration of a ``with`` block."""
+    previous = set_plan(plan)
+    try:
+        yield _active
+    finally:
+        set_plan(previous)

@@ -9,12 +9,30 @@ to the serial loop:
 
 - every item's inputs (seeds included) are fixed up front, so workers
   compute exactly what the serial iteration would have computed;
-- ``Executor.map`` returns results in item order and raises the
-  *earliest* item's exception first, matching a serial loop's failure;
+- failures surface as the *earliest* item's exception, matching a
+  serial loop's failure;
 - pool workers record telemetry into fresh child registries and ship
   snapshots back; the parent merges them in item order, reproducing the
   serial counter/histogram totals (see
   :meth:`~repro.telemetry.registry.Registry.merge_snapshot`).
+
+This is also the pipeline's worker fault boundary:
+
+- the active :class:`~repro.faults.FaultPlan` propagates into pool
+  workers, and its ``worker_kill`` site abruptly terminates a task
+  (raising :class:`~repro.common.errors.WorkerKilled`, deterministically
+  per ``(task key, attempt)`` -- the per-item quarantine key, e.g. the
+  run seed, so the same task dies no matter how the batch is split or
+  resumed) -- the same site fires on the serial path, so serial and
+  parallel execution stay result-identical;
+- killed tasks are retried up to ``plan.max_retries`` times with
+  exponential backoff (``plan.retry_backoff`` seconds base);
+- a *genuine* worker crash (the pool breaks, e.g. a worker was
+  OOM-killed) rebuilds the pool and retries the unfinished items under
+  the same bounded-retry budget;
+- with a :class:`~repro.faults.Quarantine`, items that exhaust their
+  retries or fail with a :class:`~repro.common.errors.ReproError` are
+  recorded and yield ``None`` instead of aborting the whole batch.
 
 Work functions and items must be picklable: module-level functions with
 plain-data payloads. Callers pass ``jobs=None``/``1`` for the plain
@@ -23,9 +41,13 @@ one worker per CPU.
 """
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
+from repro import faults as _faults
 from repro import telemetry
+from repro.common.errors import ReproError, WorkerKilled
 
 
 def resolve_jobs(jobs):
@@ -38,38 +60,178 @@ def resolve_jobs(jobs):
     return jobs
 
 
+def _backoff(plan, attempt):
+    """Sleep before retry ``attempt`` (1-based): exponential backoff."""
+    if plan.retry_backoff > 0:
+        time.sleep(plan.retry_backoff * 2 ** (attempt - 1))
+
+
 def _invoke(payload):
-    """Pool-worker trampoline: run one item, capturing child telemetry."""
-    fn, item, capture = payload
-    if not capture:
-        return fn(item), None
-    with telemetry.use_registry(telemetry.Registry()) as reg:
-        out = fn(item)
-    return out, reg.snapshot()
+    """Pool-worker trampoline: run one item, capturing child telemetry.
+
+    Re-activates the parent's fault plan inside the worker (module
+    globals do not cross the process boundary) and hosts the injected
+    worker-kill site.
+    """
+    fn, item, capture, plan, key, attempt = payload
+    with _faults.use_plan(plan):
+        if plan.enabled and plan.fires("worker_kill", key, attempt):
+            raise WorkerKilled(
+                f"injected worker death (task {key}, attempt {attempt})",
+                task_index=key, attempt=attempt)
+        if not capture:
+            return fn(item), None
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            out = fn(item)
+        return out, reg.snapshot()
 
 
-def run_tasks(fn, items, jobs=None):
+def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
+    """The serial loop, with the same kill/retry/quarantine semantics."""
+    results = []
+    for index, item in enumerate(items):
+        attempt = 0
+        while True:
+            try:
+                if plan.enabled and plan.fires("worker_kill", keys[index],
+                                               attempt):
+                    raise WorkerKilled(
+                        f"injected worker death (task {keys[index]}, "
+                        f"attempt {attempt})",
+                        task_index=keys[index], attempt=attempt)
+                results.append(fn(item))
+                break
+            except WorkerKilled as e:
+                tele.inc("faults.worker_kills")
+                if attempt >= plan.max_retries:
+                    if quarantine is not None:
+                        quarantine.admit(phase, keys[index], e,
+                                         attempts=attempt + 1)
+                        results.append(None)
+                        break
+                    raise
+                attempt += 1
+                tele.inc("parallel.retries")
+                _backoff(plan, attempt)
+            except ReproError as e:
+                if quarantine is not None:
+                    quarantine.admit(phase, keys[index], e,
+                                     attempts=attempt + 1)
+                    results.append(None)
+                    break
+                raise
+    return results
+
+
+def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
+    """Dispatch items across a process pool with bounded retries."""
+    capture = tele.enabled
+    n = len(items)
+    results = [None] * n
+    snaps = [None] * n
+    errors = {}
+    pending = {i: 0 for i in range(n)}  # index -> attempt
+    while pending:
+        max_attempt = max(pending.values())
+        if max_attempt:
+            _backoff(plan, max_attempt)
+        retry = {}
+        pool_broke = False
+        with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(pending))) as ex:
+            futures = {
+                index: ex.submit(
+                    _invoke, (fn, items[index], capture, plan, keys[index],
+                              attempt))
+                for index, attempt in sorted(pending.items())}
+            for index, future in futures.items():
+                attempt = pending[index]
+                try:
+                    results[index], snaps[index] = future.result()
+                except WorkerKilled as e:
+                    tele.inc("faults.worker_kills")
+                    if attempt >= plan.max_retries:
+                        errors[index] = e
+                    else:
+                        retry[index] = attempt + 1
+                        tele.inc("parallel.retries")
+                except BrokenProcessPool:
+                    # A real worker death: every in-flight item fails
+                    # together. Rebuild the pool and re-run them under
+                    # the same bounded-retry budget.
+                    pool_broke = True
+                    tele.inc("faults.worker_kills")
+                    if attempt >= plan.max_retries:
+                        errors[index] = WorkerKilled(
+                            f"worker process died (task {index}, "
+                            f"attempt {attempt}); retries exhausted",
+                            task_index=index, attempt=attempt)
+                    else:
+                        retry[index] = attempt + 1
+                        tele.inc("parallel.retries")
+                except Exception as e:  # noqa: BLE001 - re-raised below
+                    errors[index] = e
+        if pool_broke:
+            tele.inc("parallel.pool_restarts")
+        pending = retry
+    if errors:
+        if quarantine is not None:
+            hard = {}
+            for index, e in sorted(errors.items()):
+                if isinstance(e, ReproError):
+                    attempts = (plan.max_retries + 1
+                                if isinstance(e, WorkerKilled) else 1)
+                    quarantine.admit(phase, keys[index], e,
+                                     attempts=attempts)
+                    results[index] = None
+                else:
+                    hard[index] = e
+            errors = hard
+        if errors:
+            raise errors[min(errors)]
+    return results, snaps
+
+
+def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
+              keys=None):
     """Apply ``fn`` to every item, optionally across worker processes.
 
     Serial (``jobs`` None/1) and parallel execution produce identical
     results, identical exceptions, and identical telemetry counter and
     histogram totals. ``fn`` must be a picklable callable of one item.
 
-    Returns the list of results in item order.
+    Args:
+        fn: picklable callable of one item.
+        items: work items (picklable).
+        jobs: worker processes (None/1 = serial, <=0 = all CPUs).
+        quarantine: optional :class:`~repro.faults.Quarantine`. Items
+            that fail with a :class:`~repro.common.errors.ReproError`
+            (including injected faults and exhausted worker-kill
+            retries) are recorded there and yield ``None`` in the
+            result list instead of raising. Other exceptions always
+            propagate.
+        phase: quarantine phase label for failed items.
+        keys: per-item identities for quarantine records (defaults to
+            the item index).
+
+    Returns the list of results in item order (``None`` holes for
+    quarantined items).
     """
     items = list(items)
+    keys = list(keys) if keys is not None else list(range(len(items)))
+    if len(keys) != len(items):
+        raise ReproError("run_tasks: keys must match items 1:1")
+    plan = _faults.get_plan()
+    tele = telemetry.get_registry()
     n_workers = min(resolve_jobs(jobs), len(items))
     if n_workers <= 1:
-        return [fn(item) for item in items]
-    tele = telemetry.get_registry()
-    capture = tele.enabled
-    payloads = [(fn, item, capture) for item in items]
-    with ProcessPoolExecutor(max_workers=n_workers) as ex:
-        packed = list(ex.map(_invoke, payloads))
+        return _run_serial(fn, items, keys, plan, quarantine, phase, tele)
+    results, snaps = _run_pool(fn, items, keys, plan, quarantine, phase,
+                               tele, n_workers)
     if tele.enabled:
         tele.inc("parallel.batches")
         tele.inc("parallel.tasks", len(items))
-        for _out, snap in packed:
+        for snap in snaps:
             if snap:
                 tele.merge_snapshot(snap)
-    return [out for out, _snap in packed]
+    return results

@@ -90,6 +90,35 @@ CATALOG = (
                "work batches dispatched to the process pool"),
     MetricSpec("parallel.tasks", COUNTER, "repro.parallel",
                "individual work items executed in pool workers"),
+    MetricSpec("parallel.retries", COUNTER, "repro.parallel",
+               "task re-executions after a worker death"),
+    MetricSpec("parallel.pool_restarts", COUNTER, "repro.parallel",
+               "process pools rebuilt after a genuine worker crash"),
+    # -- fault injection & resilience (repro.faults) -------------------
+    MetricSpec("faults.trace_drops", COUNTER, "trace.trace_io",
+               "trace records dropped by the active fault plan"),
+    MetricSpec("faults.trace_corruptions", COUNTER, "trace.trace_io",
+               "trace records mangled by the active fault plan"),
+    MetricSpec("faults.trace_reorders", COUNTER, "trace.trace_io",
+               "adjacent trace records swapped by the active fault plan"),
+    MetricSpec("faults.trace_records_skipped", COUNTER, "trace.trace_io",
+               "malformed trace records skipped by recovering readers"),
+    MetricSpec("faults.fifo_overflows", COUNTER, "core.buffers",
+               "injected input-FIFO overruns (unconsumed entries lost)"),
+    MetricSpec("faults.weight_flips", COUNTER, "core.offline",
+               "deployed weight sets poisoned with NaN/Inf by the plan"),
+    MetricSpec("faults.weights_healed", COUNTER, "core.deploy",
+               "AMs whose non-finite weights were replaced at deploy"),
+    MetricSpec("faults.worker_kills", COUNTER, "repro.parallel",
+               "worker deaths observed (injected or real)"),
+    MetricSpec("faults.quarantined", COUNTER, "repro.faults",
+               "work units quarantined instead of aborting the run"),
+    MetricSpec("checkpoint.saves", COUNTER, "repro.faults",
+               "checkpoint snapshots persisted to disk"),
+    MetricSpec("checkpoint.resumes", COUNTER, "repro.faults",
+               "runs resumed from an existing checkpoint"),
+    MetricSpec("checkpoint.phases_reused", COUNTER, "repro.faults",
+               "checkpointed phase payloads reused instead of recomputed"),
     # -- offline training (core.offline / nn.trainer) ------------------
     MetricSpec("offline.correct_runs", COUNTER, "core.offline",
                "correct executions collected for training/pruning"),

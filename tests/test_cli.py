@@ -136,6 +136,54 @@ class TestTelemetryCLI:
         assert "act.deps_processed" in rendered
 
 
+class TestFaultsCLI:
+    ARGS = ["--train-runs", "4", "--pruning-runs", "6"]
+
+    def test_faults_with_quarantine_report(self, tmp_path, capsys):
+        report = tmp_path / "quarantine.json"
+        rc = main(["diagnose", "gzip", *self.ARGS,
+                   "--faults", "seed=3,corrupt_run_seeds=104",
+                   "--quarantine-report", str(report)])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)
+        assert "quarantined [offline.collect] 104" in out
+        import json
+        doc = json.loads(report.read_text())
+        assert doc["n_quarantined"] == 1
+        assert doc["records"][0]["key"] == 104
+
+    def test_bad_faults_spec_rejected(self, capsys):
+        rc = main(["diagnose", "gzip", "--faults", "frobnicate=1"])
+        assert rc == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        rc1 = main(["diagnose", "gzip", *self.ARGS,
+                    "--checkpoint", str(ck)])
+        first = capsys.readouterr().out
+        assert ck.exists()
+        rc2 = main(["diagnose", "gzip", *self.ARGS, "--resume", str(ck)])
+        second = capsys.readouterr().out
+        assert (rc1, first) == (rc2, second)
+
+    def test_resume_requires_existing_checkpoint(self, tmp_path, capsys):
+        rc = main(["diagnose", "gzip", "--resume",
+                   str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_mismatched_checkpoint_is_an_error(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(["diagnose", "gzip", *self.ARGS,
+                     "--checkpoint", str(ck)]) in (0, 1)
+        capsys.readouterr()
+        rc = main(["diagnose", "gzip", "--train-runs", "5",
+                   "--pruning-runs", "6", "--resume", str(ck)])
+        assert rc == 2
+        assert "fingerprint" in capsys.readouterr().err
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         import os

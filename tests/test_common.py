@@ -1,12 +1,19 @@
 """Tests for repro.common: rng determinism, errors, table rendering."""
 
+import inspect
+import pickle
+
 import pytest
 
+from repro.common import errors as errors_module
 from repro.common.errors import (
+    CheckpointError,
     ConfigError,
+    FaultInjected,
     ReproError,
     SimulatedFailure,
     TraceError,
+    WorkerKilled,
 )
 from repro.common.rng import make_np_rng, make_rng
 from repro.common.texttable import render_table
@@ -54,6 +61,49 @@ class TestErrors:
     def test_simulated_failure_is_raisable(self):
         with pytest.raises(SimulatedFailure):
             raise SimulatedFailure("x")
+
+
+# Every exception type with its context attributes. SimulatedFailure
+# once dropped tid/pc across a process-pool boundary because the default
+# Exception reduce protocol only re-raises with ``args``; this audit
+# pins the fix for every error type in the module.
+_ERROR_SAMPLES = [
+    (ReproError("plain"), {}),
+    (ConfigError("bad config"), {}),
+    (TraceError("bad trace"), {}),
+    (SimulatedFailure("boom", tid=3, pc=0x40), {"tid": 3, "pc": 0x40}),
+    (FaultInjected("injected", site="run_corrupt", key=104),
+     {"site": "run_corrupt", "key": 104}),
+    (WorkerKilled("died", task_index=7, attempt=2),
+     {"task_index": 7, "attempt": 2, "site": "worker_kill",
+      "key": (7, 2)}),
+    (CheckpointError("corrupt", path="/tmp/ck.json"),
+     {"path": "/tmp/ck.json"}),
+]
+
+
+class TestErrorPickling:
+    @pytest.mark.parametrize(
+        "err,attrs", _ERROR_SAMPLES,
+        ids=[type(e).__name__ for e, _ in _ERROR_SAMPLES])
+    def test_round_trip_keeps_type_message_and_context(self, err, attrs):
+        back = pickle.loads(pickle.dumps(err))
+        assert type(back) is type(err)
+        assert str(back) == str(err)
+        for name, value in attrs.items():
+            assert getattr(back, name) == value, name
+
+    def test_audit_covers_every_exception_in_module(self):
+        covered = {type(e) for e, _ in _ERROR_SAMPLES}
+        defined = {
+            obj for _name, obj in inspect.getmembers(errors_module,
+                                                     inspect.isclass)
+            if issubclass(obj, Exception)
+            and obj.__module__ == errors_module.__name__
+        }
+        assert defined <= covered, (
+            f"exception types missing a pickle round-trip sample: "
+            f"{[c.__name__ for c in defined - covered]}")
 
 
 class TestTextTable:

@@ -1,0 +1,308 @@
+"""Unit tests for the fault-injection subsystem (repro.faults).
+
+Covers the deterministic plan, every injection site, the recovery
+machinery around each site, and the checksummed checkpoint store. The
+end-to-end guarantees (zero-fault byte identity, quarantine-subset
+equivalence, kill/resume) live in tests/test_faults_differential.py.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.common.errors import CheckpointError, ConfigError, TraceError
+from repro.core.buffers import InputGeneratorBuffer
+from repro.core.deploy import deploy_on_run
+from repro.faults import (
+    ZERO_PLAN,
+    Checkpoint,
+    FaultPlan,
+    Quarantine,
+    flip_weights,
+    get_plan,
+    use_plan,
+)
+from repro.trace.trace_io import read_trace, write_trace
+from repro.workloads.framework import run_program
+
+
+class TestFaultPlan:
+    def test_zero_plan_never_fires(self):
+        assert not ZERO_PLAN.enabled
+        assert not ZERO_PLAN.fires("trace_drop", 0)
+        assert not ZERO_PLAN.fires("worker_kill", 3, 1)
+
+    def test_decisions_are_deterministic(self):
+        a = FaultPlan(seed=7, trace_drop=0.3)
+        b = FaultPlan(seed=7, trace_drop=0.3)
+        for i in range(200):
+            assert a.fires("trace_drop", i) == b.fires("trace_drop", i)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, trace_drop=0.5)
+        b = FaultPlan(seed=2, trace_drop=0.5)
+        fires_a = [a.fires("trace_drop", i) for i in range(100)]
+        fires_b = [b.fires("trace_drop", i) for i in range(100)]
+        assert fires_a != fires_b
+
+    def test_rate_controls_frequency(self):
+        plan = FaultPlan(seed=11, trace_drop=0.3)
+        hits = sum(plan.fires("trace_drop", i) for i in range(10_000))
+        assert 0.25 < hits / 10_000 < 0.35
+
+    def test_explicit_corrupt_seeds_always_fire(self):
+        plan = FaultPlan(seed=0, corrupt_run_seeds=(104,))
+        assert plan.enabled
+        assert plan.fires("run_corrupt", 104)
+        assert not plan.fires("run_corrupt", 105)
+
+    def test_explicit_kill_tasks_always_fire(self):
+        plan = FaultPlan(seed=0, kill_tasks=((2, 0), (2, 1)))
+        assert plan.fires("worker_kill", 2, 0)
+        assert plan.fires("worker_kill", 2, 1)
+        assert not plan.fires("worker_kill", 2, 2)
+        assert not plan.fires("worker_kill", 3, 0)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(trace_drop=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(worker_kill=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(max_retries=-1)
+
+    def test_spec_round_trip(self):
+        plan = FaultPlan(seed=3, worker_kill=0.1, trace_drop=0.05,
+                         corrupt_run_seeds=(104, 105),
+                         kill_tasks=((2, 0), (2, 1)))
+        assert FaultPlan.from_spec(plan.describe()) == plan
+
+    def test_spec_rejects_unknown_key(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec("frobnicate=1")
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec("justakey")
+
+    def test_active_plan_context(self):
+        assert get_plan() is ZERO_PLAN
+        plan = FaultPlan(seed=1, fifo_overflow=0.5)
+        with use_plan(plan):
+            assert get_plan() is plan
+            with use_plan(ZERO_PLAN):
+                assert get_plan() is ZERO_PLAN
+            assert get_plan() is plan
+        assert get_plan() is ZERO_PLAN
+
+    def test_context_restores_after_error(self):
+        with pytest.raises(RuntimeError):
+            with use_plan(FaultPlan(seed=1, trace_drop=0.1)):
+                raise RuntimeError("boom")
+        assert get_plan() is ZERO_PLAN
+
+
+class TestTraceFaults:
+    def _run(self, pingpong):
+        return run_program(pingpong, seed=1)
+
+    def test_zero_plan_output_byte_identical(self, pingpong, tmp_path):
+        run = self._run(pingpong)
+        plain, faulted = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(run, plain)
+        write_trace(run, faulted, faults=ZERO_PLAN)
+        assert plain.read_bytes() == faulted.read_bytes()
+
+    def test_dropped_records_shorten_trace(self, pingpong, tmp_path):
+        run = self._run(pingpong)
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path, faults=FaultPlan(seed=2, trace_drop=0.3))
+        back = read_trace(path)
+        assert 0 < len(back.events) < len(run.events)
+
+    def test_corrupt_records_fail_closed(self, pingpong, tmp_path):
+        run = self._run(pingpong)
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path, faults=FaultPlan(seed=2, trace_corrupt=0.3))
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_recovery_skips_and_reports(self, pingpong, tmp_path):
+        run = self._run(pingpong)
+        path = tmp_path / "t.jsonl"
+        plan = FaultPlan(seed=2, trace_corrupt=0.3)
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            write_trace(run, path, faults=plan)
+            quarantine = Quarantine()
+            back = read_trace(path, quarantine=quarantine)
+        skipped = back.meta["skipped_records"]
+        assert skipped > 0
+        assert len(back.events) == len(run.events) - skipped
+        assert len(quarantine) == 1
+        record = quarantine.records[0]
+        assert record.phase == "trace.read"
+        assert record.key == str(path)
+        snap = reg.snapshot()["counters"]
+        assert snap["faults.trace_corruptions"] == skipped
+        assert snap["faults.trace_records_skipped"] == skipped
+
+    def test_reorder_swaps_adjacent_records(self, pingpong, tmp_path):
+        run = self._run(pingpong)
+        path = tmp_path / "t.jsonl"
+        write_trace(run, path, faults=FaultPlan(seed=5, trace_reorder=0.3))
+        back = read_trace(path)
+        assert len(back.events) == len(run.events)
+        assert back.events != run.events
+        assert sorted(back.events, key=repr) == sorted(run.events, key=repr)
+
+    def test_header_damage_never_recoverable(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceError):
+            read_trace(path, recover=True)
+
+
+class TestFifoOverflow:
+    def test_overrun_clears_unconsumed_entries(self):
+        buf = InputGeneratorBuffer(capacity=5, tid=0)
+        with use_plan(FaultPlan(seed=0, fifo_overflow=1.0)):
+            with telemetry.use_registry(telemetry.Registry()) as reg:
+                for dep in "abcde":
+                    buf.push(dep)
+        assert len(buf) == 1  # every push wiped the backlog first
+        assert reg.snapshot()["counters"]["faults.fifo_overflows"] == 5
+
+    def test_zero_plan_keeps_fifo_semantics(self):
+        buf = InputGeneratorBuffer(capacity=3, tid=0)
+        for dep in "abcde":
+            buf.push(dep)
+        assert buf.tail(3) == ["c", "d", "e"]
+
+    def test_extend_never_fires(self):
+        buf = InputGeneratorBuffer(capacity=5, tid=0)
+        with use_plan(FaultPlan(seed=0, fifo_overflow=1.0)):
+            buf.extend("abcde")
+        assert len(buf) == 5
+
+
+class TestWeightFlips:
+    def test_flip_is_deterministic_and_nonfinite(self):
+        plan = FaultPlan(seed=9, weight_flip=1.0)
+        flat = np.zeros(24)
+        a = flip_weights(flat, plan, 0)
+        b = flip_weights(flat, plan, 0)
+        assert np.array_equal(a, b, equal_nan=True)
+        assert not np.isfinite(a).all()
+        assert np.isfinite(flat).all()  # input untouched
+
+    def test_make_network_hosts_flip_site(self, trained_tinybug):
+        with use_plan(FaultPlan(seed=9, weight_flip=1.0)):
+            net = trained_tinybug.make_network(0)
+        assert not np.isfinite(net.read_weights()).all()
+
+    def test_deploy_heals_flipped_weights(self, trained_tinybug, tinybug):
+        failure = run_program(tinybug, seed=12345, buggy=True)
+        clean = deploy_on_run(trained_tinybug, failure, fast=False)
+        quarantine = Quarantine()
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            with use_plan(FaultPlan(seed=9, weight_flip=1.0)):
+                healed = deploy_on_run(trained_tinybug, failure,
+                                       quarantine=quarantine)
+        counters = reg.snapshot()["counters"]
+        assert counters["faults.weight_flips"] >= 1
+        assert counters["faults.weights_healed"] >= 1
+        assert len(quarantine) >= 1
+        assert quarantine.records[0].phase == "deploy.weights"
+        # Healing falls back to the pooled default weights: the replay
+        # completes and every module ends the run with finite registers.
+        assert healed.n_deps == clean.n_deps
+        for module in healed.modules.values():
+            assert np.isfinite(module.net.read_weights()).all()
+
+
+class TestCheckpoint:
+    FP = {"program": "gzip", "runs": 4}
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        cp = Checkpoint(str(path), "diagnosis", self.FP)
+        cp.put("trained", {"weights": [1.5, 2.5]})
+        back = Checkpoint.load(str(path))
+        assert back.kind == "diagnosis"
+        assert back.get("trained") == {"weights": [1.5, 2.5]}
+
+    def test_open_resumes_matching_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "diagnosis", self.FP).put("p", 1)
+        cp = Checkpoint.open(str(path), "diagnosis", self.FP)
+        assert cp.resumed
+        assert cp.get("p") == 1
+
+    def test_open_fresh_when_missing(self, tmp_path):
+        cp = Checkpoint.open(str(tmp_path / "ck.json"), "diagnosis", self.FP)
+        assert not cp.resumed
+        assert cp.get("p") is None
+
+    def test_kind_mismatch_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "diagnosis", self.FP).save()
+        with pytest.raises(CheckpointError):
+            Checkpoint.open(str(path), "topology-search", self.FP)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "diagnosis", self.FP).save()
+        with pytest.raises(CheckpointError):
+            Checkpoint.open(str(path), "diagnosis", {"program": "gzip",
+                                                     "runs": 20})
+
+    def test_fingerprint_comparison_is_json_normalised(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "d", {"seeds": (1, 2)}).save()
+        # Tuples become lists on disk; reopening with the tuple form
+        # must still match.
+        assert Checkpoint.open(str(path), "d", {"seeds": [1, 2]}).resumed
+        assert Checkpoint.open(str(path), "d", {"seeds": (1, 2)}).resumed
+
+    def test_checksum_detects_tampering(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "diagnosis", self.FP).put("p", [1, 2, 3])
+        body = json.loads(path.read_text())
+        body["phases"]["p"] = [1, 2, 4]
+        path.write_text(json.dumps(body))
+        with pytest.raises(CheckpointError, match="checksum"):
+            Checkpoint.load(str(path))
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        Checkpoint(str(path), "diagnosis", self.FP).save()
+        path.write_text(path.read_text()[:-20])
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(str(tmp_path / "nope.json"))
+
+    def test_saves_are_atomic(self, tmp_path):
+        path = tmp_path / "ck.json"
+        cp = Checkpoint(str(path), "diagnosis", self.FP)
+        for i in range(5):
+            cp.put(f"phase{i}", list(range(i)))
+            assert not os.path.exists(f"{path}.tmp")
+            Checkpoint.load(str(path))  # every intermediate file is whole
+
+    def test_telemetry_counters(self, tmp_path):
+        path = tmp_path / "ck.json"
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            cp = Checkpoint.open(str(path), "d", self.FP)
+            cp.put("a", 1)
+            cp.put("b", 2)
+            cp2 = Checkpoint.open(str(path), "d", self.FP)
+            assert cp2.get("a") == 1
+            assert cp2.get("missing") is None
+        counters = reg.snapshot()["counters"]
+        assert counters["checkpoint.saves"] == 2
+        assert counters["checkpoint.resumes"] == 1
+        assert counters["checkpoint.phases_reused"] == 1

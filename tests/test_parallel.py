@@ -5,16 +5,18 @@ runs, identical trained weights, identical diagnosis reports, identical
 telemetry counter totals, identical exceptions.
 """
 
+import os
 import pickle
 
 import numpy as np
 import pytest
 
 from repro import telemetry
-from repro.common.errors import ReproError, SimulatedFailure
+from repro.common.errors import ReproError, SimulatedFailure, WorkerKilled
 from repro.core.config import ACTConfig
 from repro.core.diagnosis import diagnose_failure
 from repro.core.offline import OfflineTrainer, collect_correct_runs
+from repro.faults import FaultPlan, Quarantine, use_plan
 from repro.parallel import resolve_jobs, run_tasks
 from repro.workloads.registry import get_bug
 
@@ -22,6 +24,21 @@ _CONFIG = ACTConfig()
 
 
 def _double(x):  # module-level: must be picklable for the pool
+    return 2 * x
+
+
+def _crash_once_then_double(payload):
+    """Genuinely kill the worker process on the first-ever execution.
+
+    The flag file is the cross-process memory: whichever worker runs
+    first creates it and dies via ``os._exit`` (no exception, no pickle
+    -- the pool just breaks, as a real OOM kill would); every later
+    execution finds the flag and computes normally.
+    """
+    flag, x = payload
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(1)
     return 2 * x
 
 
@@ -54,6 +71,96 @@ class TestRunTasks:
         counters = reg.snapshot()["counters"]
         assert counters["parallel.batches"] == 1
         assert counters["parallel.tasks"] == 3
+
+
+class TestWorkerDeathRecovery:
+    """Injected worker kills: bounded retry, quarantine, determinism."""
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_killed_task_is_retried_transparently(self, jobs):
+        plan = FaultPlan(seed=0, kill_tasks=((1, 0),))
+        with use_plan(plan):
+            with telemetry.use_registry(telemetry.Registry()) as reg:
+                results = run_tasks(_double, [0, 1, 2], jobs=jobs)
+        assert results == [0, 2, 4]
+        counters = reg.snapshot()["counters"]
+        assert counters["faults.worker_kills"] == 1
+        assert counters["parallel.retries"] == 1
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_exhausted_retries_raise_worker_killed(self, jobs):
+        plan = FaultPlan(seed=0, kill_tasks=((1, 0), (1, 1), (1, 2)),
+                         max_retries=2)
+        with use_plan(plan):
+            with pytest.raises(WorkerKilled) as err:
+                run_tasks(_double, [0, 1, 2], jobs=jobs)
+        assert err.value.task_index == 1
+        assert err.value.attempt == 2
+
+    def test_serial_and_parallel_raise_identically(self):
+        plan = FaultPlan(seed=0, kill_tasks=((1, 0), (1, 1), (1, 2)),
+                         max_retries=2)
+        errors = []
+        for jobs in (None, 2):
+            with use_plan(plan):
+                with pytest.raises(WorkerKilled) as err:
+                    run_tasks(_double, [0, 1, 2], jobs=jobs)
+            errors.append(str(err.value))
+        assert errors[0] == errors[1]
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_quarantine_absorbs_exhausted_kills(self, jobs):
+        plan = FaultPlan(seed=0, kill_tasks=((1, 0), (1, 1), (1, 2)),
+                         max_retries=2)
+        quarantine = Quarantine()
+        with use_plan(plan):
+            results = run_tasks(_double, [0, 1, 2], jobs=jobs,
+                                quarantine=quarantine, phase="test")
+        assert results == [0, None, 4]
+        assert len(quarantine) == 1
+        record = quarantine.records[0]
+        assert record.phase == "test"
+        assert record.key == 1
+        assert record.error_type == "WorkerKilled"
+        assert record.attempts == 3
+
+    def test_kill_keyed_by_quarantine_key_not_position(self):
+        # keys name the units (e.g. run seeds); the kill follows the
+        # key, so splitting a batch differently kills the same unit.
+        plan = FaultPlan(seed=0, kill_tasks=((104, 0),), max_retries=0)
+        quarantine = Quarantine()
+        with use_plan(plan):
+            whole = run_tasks(_double, [3, 4, 5], quarantine=quarantine,
+                              keys=[103, 104, 105], phase="test")
+            split = [run_tasks(_double, [x], quarantine=quarantine,
+                               keys=[k], phase="test")[0]
+                     for k, x in [(103, 3), (104, 4), (105, 5)]]
+        assert whole == split == [6, None, 10]
+        assert quarantine.keys() == [104, 104]
+
+    def test_real_worker_crash_restarts_pool(self, tmp_path):
+        flag = str(tmp_path / "crashed")
+        payloads = [(flag, x) for x in range(3)]
+        with telemetry.use_registry(telemetry.Registry()) as reg:
+            results = run_tasks(_crash_once_then_double, payloads, jobs=2)
+        assert results == [0, 2, 4]
+        counters = reg.snapshot()["counters"]
+        assert counters["parallel.pool_restarts"] >= 1
+        assert counters["faults.worker_kills"] >= 1
+
+    def test_keys_must_match_items(self):
+        with pytest.raises(ReproError):
+            run_tasks(_double, [1, 2], keys=[1])
+
+    def test_backoff_sleeps_are_bounded(self):
+        import time
+
+        plan = FaultPlan(seed=0, kill_tasks=((0, 0),), max_retries=1,
+                         retry_backoff=0.01)
+        t0 = time.time()
+        with use_plan(plan):
+            assert run_tasks(_double, [5]) == [10]
+        assert 0.01 <= time.time() - t0 < 1.0
 
 
 class TestSimulatedFailurePickle:
