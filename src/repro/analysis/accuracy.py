@@ -1,0 +1,357 @@
+"""Diagnosis-accuracy harness over a generated ground-truth corpus.
+
+The paper's evaluation fixes 11 hand-ported bugs; this module measures
+diagnosis quality on *new* scenarios. A :class:`CorpusSpec` names a
+seeded corpus of generated programs (see
+:mod:`repro.workloads.generator`); :func:`run_corpus` runs the full
+train -> deploy -> prune -> rank pipeline over every program and
+:func:`corpus_metrics` reduces the per-program outcomes to
+precision/recall/top-k-rank tables in the style of Tables IV/V, with
+per-archetype breakdowns.
+
+Metric definitions (documented in docs/accuracy.md):
+
+- ``recall``: fraction of corpus programs whose ground-truth root-cause
+  dependence appears anywhere in the ranked findings. Quarantined or
+  non-failing programs count as misses -- the harness scores the
+  end-to-end system, not just the ranker.
+- ``top1`` / ``topk``: fraction ranked first / within the top k.
+- ``precision_at_k``: of the first ``min(k, n_findings)`` findings
+  reported per program, the fraction whose mismatched suffix exposes a
+  ground-truth dependence (micro-averaged over the corpus).
+- ``mean_rank`` / ``median_rank``: over diagnosed programs only.
+
+Determinism is a hard contract: the same ``(seed, size)`` yields a
+byte-identical metrics JSON (:func:`metrics_json`) whether the corpus
+fan-out ran serial or across ``--jobs`` workers, in one process or two.
+Every random choice flows from :func:`repro.common.rng.make_rng`
+streams keyed by the spec, diagnosis itself is deterministic, and
+:mod:`repro.parallel` guarantees result-identical pool execution.
+"""
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Tuple
+
+from repro import faults as _faults
+from repro import telemetry
+from repro.common.rng import make_rng
+from repro.common.texttable import render_table
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.faults import Checkpoint
+from repro.parallel import run_tasks
+from repro.workloads.generator import (
+    ARCHETYPES,
+    GeneratedProgram,
+    ProgramSpec,
+)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Everything that shapes a corpus run (and its checkpoint identity).
+
+    ``jobs`` is deliberately *not* part of the spec: parallelism never
+    changes results, so it rides along as a call argument.
+    """
+
+    seed: int = 7
+    size: int = 20
+    archetypes: Tuple[str, ...] = ARCHETYPES
+    top_k: int = 5
+    n_train_runs: int = 6
+    n_pruning_runs: int = 8
+    failure_seed: int = 12345
+    # Generated programs are deliberately small; N=3 keeps every
+    # archetype trainable (the paper likewise picks per-program N).
+    config: ACTConfig = field(
+        default_factory=lambda: ACTConfig(seq_len=3))
+
+    def fingerprint(self):
+        """Checkpoint identity: the spec, JSON-safe."""
+        doc = asdict(self)
+        doc["archetypes"] = list(self.archetypes)
+        return doc
+
+
+def corpus_programs(spec):
+    """The deterministic list of :class:`ProgramSpec` for one corpus.
+
+    Archetypes are assigned round-robin so every corpus (with
+    ``size >= len(archetypes)``) exercises the full catalogue; motifs
+    and program shapes are drawn from each item's own seed.
+    """
+    rng = make_rng(spec.seed, stream=zlib.crc32(b"corpus") & 0xFFFF)
+    seen = set()
+    programs = []
+    for i in range(spec.size):
+        while True:
+            item_seed = rng.randrange(1, 1_000_000)
+            if item_seed not in seen:
+                seen.add(item_seed)
+                break
+        archetype = spec.archetypes[i % len(spec.archetypes)]
+        programs.append(ProgramSpec.from_seed(item_seed,
+                                              archetype=archetype))
+    return programs
+
+
+def _diagnose_item(payload):
+    """Picklable corpus work item: diagnose one generated program.
+
+    Returns a plain-dict record (JSON-safe, so the same shape feeds the
+    metrics, the checkpoint, and the parallel result channel).
+    """
+    program_spec, spec = payload
+    program = GeneratedProgram(program_spec)
+    report = diagnose_failure(
+        program, config=spec.config,
+        n_train_runs=spec.n_train_runs,
+        n_pruning_runs=spec.n_pruning_runs,
+        failure_seed=spec.failure_seed)
+    root = report.root_cause or set()
+    considered = report.findings[:spec.top_k]
+    hits = [
+        1 if any((d.store_pc, d.load_pc) in root
+                 for d in f.seq[f.matched:]) else 0
+        for f in considered]
+    return {
+        "program": program_spec.name,
+        "seed": program_spec.seed,
+        "archetype": program_spec.archetype,
+        "motif": program_spec.motif,
+        "status": "diagnosed" if report.found else (
+            "missed" if report.failed else "no_failure"),
+        "failed": report.failed,
+        "found": report.found,
+        "rank": report.rank,
+        "n_findings": len(report.findings),
+        "finding_hits": hits,
+        "debug_buffer_position": report.debug_buffer_position,
+        "debug_overflowed": report.debug_overflowed,
+        "filter_pct": float(report.filter_pct),
+        "n_deps": report.n_deps,
+        "n_invalid": report.n_invalid,
+    }
+
+
+def _quarantined_record(program_spec):
+    """Placeholder record for a corpus item lost to the quarantine."""
+    return {
+        "program": program_spec.name,
+        "seed": program_spec.seed,
+        "archetype": program_spec.archetype,
+        "motif": program_spec.motif,
+        "status": "quarantined",
+        "failed": False,
+        "found": False,
+        "rank": None,
+        "n_findings": 0,
+        "finding_hits": [],
+        "debug_buffer_position": None,
+        "debug_overflowed": False,
+        "filter_pct": 0.0,
+        "n_deps": 0,
+        "n_invalid": 0,
+    }
+
+
+@dataclass
+class CorpusResult:
+    """Per-program records plus the reduced metrics for one corpus."""
+
+    spec: CorpusSpec
+    records: list
+    metrics: dict
+    quarantine: Optional[dict] = None
+
+
+def _group_metrics(records, top_k):
+    """Reduce a record list to one metrics dict (see module docstring)."""
+    n = len(records)
+    found = [r for r in records if r["found"]]
+    ranks = sorted(r["rank"] for r in found)
+    considered = sum(min(top_k, r["n_findings"]) for r in records)
+    hits = sum(sum(r["finding_hits"]) for r in records)
+    if ranks:
+        mid = len(ranks) // 2
+        median = (float(ranks[mid]) if len(ranks) % 2
+                  else (ranks[mid - 1] + ranks[mid]) / 2.0)
+    else:
+        median = None
+    return {
+        "n_programs": n,
+        "n_failed": sum(1 for r in records if r["failed"]),
+        "n_found": len(found),
+        "n_quarantined": sum(1 for r in records
+                             if r["status"] == "quarantined"),
+        "recall": (len(found) / n) if n else None,
+        "top1": (sum(1 for r in found if r["rank"] == 1) / n) if n else None,
+        f"top{top_k}": (sum(1 for r in found if r["rank"] <= top_k) / n
+                        if n else None),
+        "precision_at_k": (hits / considered) if considered else None,
+        "mean_rank": (sum(ranks) / len(ranks)) if ranks else None,
+        "median_rank": median,
+        "mean_filter_pct": (sum(r["filter_pct"] for r in records) / n
+                            if n else None),
+    }
+
+
+def corpus_metrics(spec, records):
+    """Overall + per-archetype + per-motif metric tables, JSON-safe."""
+    by_archetype = {}
+    for archetype in sorted({r["archetype"] for r in records}):
+        subset = [r for r in records if r["archetype"] == archetype]
+        by_archetype[archetype] = _group_metrics(subset, spec.top_k)
+    by_motif = {}
+    for motif in sorted({r["motif"] for r in records}):
+        subset = [r for r in records if r["motif"] == motif]
+        by_motif[motif] = _group_metrics(subset, spec.top_k)
+    return {
+        "spec": spec.fingerprint(),
+        "overall": _group_metrics(records, spec.top_k),
+        "by_archetype": by_archetype,
+        "by_motif": by_motif,
+    }
+
+
+def run_corpus(spec, jobs=None, faults=None, quarantine=None,
+               checkpoint=None):
+    """Run the accuracy harness over one corpus.
+
+    Args:
+        spec: :class:`CorpusSpec`.
+        jobs: fan the per-program diagnoses across worker processes
+            (None/1 = serial; results byte-identical either way).
+        faults: :class:`~repro.faults.FaultPlan` active for the whole
+            corpus (defaults to the ambient plan).
+        quarantine: :class:`~repro.faults.Quarantine`; a program whose
+            diagnosis is lost to injected faults is recorded there and
+            scored as a miss instead of aborting the corpus.
+        checkpoint: path (or open :class:`~repro.faults.Checkpoint`)
+            holding per-program snapshots -- a killed corpus run can be
+            resumed and reproduces the identical metrics JSON.
+
+    Returns:
+        :class:`CorpusResult`.
+    """
+    plan = faults if faults is not None else _faults.get_plan()
+    if checkpoint is not None and not isinstance(checkpoint, Checkpoint):
+        checkpoint = Checkpoint.open(checkpoint, "corpus",
+                                     spec.fingerprint())
+    program_specs = corpus_programs(spec)
+    tele = telemetry.get_registry()
+    with _faults.use_plan(plan):
+        with tele.span("corpus", seed=spec.seed, size=spec.size):
+            records = _collect_records(spec, program_specs, jobs,
+                                       quarantine, checkpoint, tele)
+    metrics = corpus_metrics(spec, records)
+    if tele.enabled:
+        tele.inc("corpus.programs", len(records))
+        tele.inc("corpus.found", metrics["overall"]["n_found"])
+        tele.inc("corpus.quarantined",
+                 metrics["overall"]["n_quarantined"])
+    result = CorpusResult(spec=spec, records=records, metrics=metrics)
+    if quarantine is not None and len(quarantine):
+        result.quarantine = quarantine.report_dict()
+    return result
+
+
+def _collect_records(spec, program_specs, jobs, quarantine, checkpoint,
+                     tele):
+    """Diagnose every program, reusing checkpointed records."""
+    records = {}
+    pending = []
+    for ps in program_specs:
+        cached = (checkpoint.get(f"record:{ps.name}")
+                  if checkpoint is not None else None)
+        if cached is not None:
+            records[ps.name] = cached
+        else:
+            pending.append(ps)
+    if pending:
+        with tele.span("corpus.diagnose", n_programs=len(pending)):
+            results = run_tasks(
+                _diagnose_item, [(ps, spec) for ps in pending],
+                jobs=jobs, quarantine=quarantine, phase="corpus.diagnose",
+                keys=[ps.name for ps in pending])
+        for ps, record in zip(pending, results):
+            if record is None:
+                record = _quarantined_record(ps)
+            records[ps.name] = record
+            if checkpoint is not None:
+                checkpoint.put(f"record:{ps.name}", record, save=False)
+        if checkpoint is not None:
+            checkpoint.save()
+    return [records[ps.name] for ps in program_specs]
+
+
+# -- rendering ---------------------------------------------------------
+
+def metrics_json(result):
+    """Canonical metrics JSON text: the byte-identity artifact."""
+    return json.dumps(result.metrics, sort_keys=True, indent=2) + "\n"
+
+
+def _fmt(value, pct=False):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{100 * value:.1f}" if pct else f"{value:.2f}"
+    return str(value)
+
+
+def _metric_row(label, m, top_k):
+    return (label, m["n_programs"], m["n_found"],
+            _fmt(m["recall"], pct=True), _fmt(m["top1"], pct=True),
+            _fmt(m[f"top{top_k}"], pct=True),
+            _fmt(m["precision_at_k"], pct=True),
+            _fmt(m["mean_rank"]), _fmt(m["median_rank"]))
+
+
+def format_corpus(result):
+    """Render the Table IV/V-style accuracy report."""
+    spec = result.spec
+    k = spec.top_k
+    program_rows = []
+    for r in result.records:
+        pos = r["debug_buffer_position"]
+        pos_text = ">buf" if (pos is None and r["debug_overflowed"]) else (
+            "-" if pos is None else str(pos))
+        program_rows.append((
+            r["program"], r["archetype"], r["motif"], r["status"],
+            "-" if r["rank"] is None else str(r["rank"]),
+            pos_text, f"{r['filter_pct']:.0f}",
+            r["n_deps"], r["n_invalid"]))
+    programs = render_table(
+        ("Program", "Archetype", "Motif", "Status", "Rank",
+         "Debug Buf. Pos.", "Filter (%)", "# Deps", "# Invalid"),
+        program_rows,
+        title=f"Corpus diagnosis (seed {spec.seed}, {spec.size} programs)")
+
+    header = ("Group", "# Prog", "# Found", "Recall (%)", "Top-1 (%)",
+              f"Top-{k} (%)", f"Prec@{k} (%)", "Mean Rank", "Med. Rank")
+    group_rows = [_metric_row("overall", result.metrics["overall"], k)]
+    for name, m in result.metrics["by_archetype"].items():
+        group_rows.append(_metric_row(name, m, k))
+    for name, m in result.metrics["by_motif"].items():
+        group_rows.append(_metric_row(f"motif:{name}", m, k))
+    groups = render_table(header, group_rows,
+                          title="Accuracy by archetype and motif")
+
+    lines = [programs, "", groups]
+    overall = result.metrics["overall"]
+    if overall["n_quarantined"]:
+        lines.append(f"quarantined programs: {overall['n_quarantined']} "
+                     "(scored as misses)")
+    return "\n".join(lines)
+
+
+def run_corpus_for_preset(preset):
+    """Experiment-registry entry point: corpus at preset scale."""
+    spec = CorpusSpec(seed=preset.corpus_seed, size=preset.corpus_size,
+                      n_train_runs=preset.corpus_train_runs,
+                      n_pruning_runs=preset.corpus_pruning_runs)
+    return run_corpus(spec, jobs=preset.jobs)

@@ -110,6 +110,12 @@ def _nn_design():
     return lambda preset: format_nn_design(run_nn_design(preset))
 
 
+@_experiment("corpus", "diagnosis accuracy on a generated ground-truth corpus")
+def _corpus():
+    from repro.analysis.accuracy import format_corpus, run_corpus_for_preset
+    return lambda preset: format_corpus(run_corpus_for_preset(preset))
+
+
 @_experiment("adaptation", "online-learning adaptation study")
 def _adaptation():
     from repro.analysis.adaptation import format_adaptation, run_adaptation

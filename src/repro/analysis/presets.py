@@ -47,6 +47,11 @@ class Preset:
     fifo_sweep: Tuple[int, ...] = (4, 8, 16)
     core_sweep: Tuple[int, ...] = (4, 8, 16)
     line_sweep: Tuple[int, ...] = (4, 32, 64, 128)
+    # Accuracy corpus (generated ground-truth programs)
+    corpus_seed: int = 7
+    corpus_size: int = 20
+    corpus_train_runs: int = 6
+    corpus_pruning_runs: int = 8
 
 
 FULL = Preset(name="full")
@@ -78,6 +83,9 @@ FAST = Preset(
     fifo_sweep=(4, 16),
     core_sweep=(8,),
     line_sweep=(32, 128),
+    corpus_size=6,
+    corpus_train_runs=4,
+    corpus_pruning_runs=6,
 )
 
 

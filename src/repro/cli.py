@@ -10,14 +10,20 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli diagnose gzip --resume ck.json
     python -m repro.cli diagnose gzip --faults seed=3,run_corrupt=0.3 \
         --quarantine-report quarantine.json
+    python -m repro.cli diagnose gen-atomicity-pipeline-s7   # generated bug
     python -m repro.cli trace lu --seed 3 --out lu.jsonl
     python -m repro.cli experiment table5 --preset fast
     python -m repro.cli profile gzip          # telemetry phase/counter table
     python -m repro.cli profile lu mcf        # workload communication profile
+    python -m repro.cli corpus --seed 7 --size 20 --jobs 4 \
+        --out metrics.json                    # accuracy on generated corpus
 
-``diagnose`` runs the full ACT pipeline against one of the bundled bug
-programs; ``trace`` records a workload execution to a JSON-lines trace
-file; ``experiment`` regenerates one of the paper's tables/figures.
+``diagnose`` runs the full ACT pipeline against a bundled bug program
+or a generated one (``gen-<archetype>-<motif>-s<seed>``); ``trace``
+records a workload execution to a JSON-lines trace file; ``experiment``
+regenerates one of the paper's tables/figures; ``corpus`` runs the
+diagnosis-accuracy harness over a seeded generated corpus and prints
+precision/recall/rank tables (see ``docs/accuracy.md``).
 ``diagnose``/``trace``/``experiment`` accept ``--telemetry PATH`` to
 export a run profile (counters + nested phase spans, see
 :mod:`repro.telemetry`); ``profile`` renders such profiles for humans --
@@ -44,18 +50,25 @@ from repro.workloads.registry import (
     all_kernel_names,
     get_bug,
     get_kernel,
+    get_workload,
 )
 
 
 def _cmd_list(_args):
     print("kernels:", ", ".join(all_kernel_names()))
     print("bugs:   ", ", ".join(all_bug_names()))
+    print("generated: gen-<archetype>-<motif>-s<seed>, e.g. "
+          "gen-atomicity-pipeline-s7")
     print("experiments:", ", ".join(experiment_names()))
     return 0
 
 
 def _cmd_diagnose(args):
-    program = get_bug(args.bug)
+    try:
+        program = get_bug(args.bug)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     config = ACTConfig(seq_len=args.seq_len,
                        debug_buffer=args.debug_buffer,
                        mispred_threshold=args.threshold)
@@ -134,12 +147,14 @@ def _cmd_profile(args):
             return 2
         print(format_profile(read_profile(args.load)))
         return 0
+    from repro.workloads.generator import parse_generated_name
+
     bug_names = set(all_bug_names())
     names = args.programs or all_kernel_names()
     comm_profiles = []
     first = True
     for name in names:
-        if name in bug_names:
+        if name in bug_names or parse_generated_name(name) is not None:
             profile = _bug_run_profile(name, args)
             if not first:
                 print()
@@ -167,13 +182,74 @@ def _cmd_trace(args):
               file=sys.stderr)
         return 2
     try:
-        program = get_kernel(args.program)
-    except Exception:
-        program = get_bug(args.program)
+        program = get_workload(args.program)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     run = run_program(program, seed=args.seed)
     write_trace(run, args.out)
     print(f"wrote {len(run.events)} events "
           f"({run.n_threads} threads, failed={run.failed}) to {args.out}")
+    return 0
+
+
+def _cmd_corpus(args):
+    from repro.analysis.accuracy import (
+        CorpusSpec,
+        format_corpus,
+        metrics_json,
+        run_corpus,
+    )
+
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir and not os.path.isdir(out_dir):
+            print(f"error: output directory {out_dir!r} does not exist",
+                  file=sys.stderr)
+            return 2
+    checkpoint = args.checkpoint
+    if args.resume:
+        if not os.path.isfile(args.resume):
+            print(f"error: checkpoint {args.resume!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        checkpoint = args.resume
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.from_spec(args.faults)
+        except ReproError as e:
+            print(f"error: bad --faults spec: {e}", file=sys.stderr)
+            return 2
+    quarantine = None
+    if plan is not None or args.quarantine_report:
+        quarantine = Quarantine()
+    spec = CorpusSpec(seed=args.seed, size=args.size, top_k=args.top,
+                      n_train_runs=args.train_runs,
+                      n_pruning_runs=args.pruning_runs,
+                      config=ACTConfig(seq_len=args.seq_len))
+    try:
+        result = run_corpus(spec, jobs=args.jobs, faults=plan,
+                            quarantine=quarantine, checkpoint=checkpoint)
+    except CheckpointError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(format_corpus(result))
+    if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir and not os.path.isdir(out_dir):
+            print(f"error: output directory {out_dir!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(metrics_json(result))
+        print(f"metrics written to {args.out}")
+    if quarantine is not None:
+        if len(quarantine):
+            print(quarantine.summary())
+        if args.quarantine_report:
+            quarantine.write_report(args.quarantine_report)
+            print(f"quarantine report written to {args.quarantine_report}")
     return 0
 
 
@@ -199,8 +275,11 @@ def build_parser():
 
     sub.add_parser("list", help="list bundled workloads and experiments")
 
-    d = sub.add_parser("diagnose", help="diagnose a bundled bug with ACT")
-    d.add_argument("bug", choices=all_bug_names())
+    d = sub.add_parser("diagnose",
+                       help="diagnose a bundled or generated bug with ACT")
+    d.add_argument("bug", metavar="BUG",
+                   help="a bundled bug name (see 'repro list') or a "
+                        "generated name like gen-atomicity-pipeline-s7")
     d.add_argument("--seed", type=int, default=12345)
     d.add_argument("--train-runs", type=int, default=10)
     d.add_argument("--pruning-runs", type=int, default=20)
@@ -248,6 +327,42 @@ def build_parser():
     p.add_argument("--load", metavar="PATH",
                    help="render a previously saved telemetry profile")
 
+    c = sub.add_parser(
+        "corpus",
+        help="diagnosis accuracy over a generated ground-truth corpus")
+    c.add_argument("--seed", type=int, default=7,
+                   help="corpus seed (same seed + size => byte-identical "
+                        "metrics JSON)")
+    c.add_argument("--size", type=int, default=20,
+                   help="number of generated programs")
+    c.add_argument("--train-runs", type=int, default=6)
+    c.add_argument("--pruning-runs", type=int, default=8)
+    c.add_argument("--seq-len", type=int, default=3,
+                   help="dependences per NN input (generated programs "
+                        "are sized for the default of 3)")
+    c.add_argument("--top", type=int, default=5, metavar="K",
+                   help="k for the top-k and precision@k metrics")
+    c.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for independent programs "
+                        "(results identical to serial; 0 = all CPUs)")
+    c.add_argument("--out", metavar="PATH",
+                   help="write the canonical metrics JSON to PATH")
+    c.add_argument("--telemetry", metavar="PATH",
+                   help="export a telemetry run profile (json/jsonl)")
+    c.add_argument("--checkpoint", metavar="PATH",
+                   help="save per-program snapshots to PATH "
+                        "(created if missing, resumed if present)")
+    c.add_argument("--resume", metavar="PATH",
+                   help="resume a corpus run from an existing checkpoint "
+                        "(like --checkpoint, but PATH must exist)")
+    c.add_argument("--faults", metavar="SPEC",
+                   help="inject faults from a deterministic plan spec; "
+                        "programs lost to faults are quarantined and "
+                        "scored as misses")
+    c.add_argument("--quarantine-report", metavar="PATH",
+                   help="write the quarantine report (skipped programs "
+                        "and why) as JSON")
+
     e = sub.add_parser("experiment", help="regenerate a table/figure")
     e.add_argument("name", choices=experiment_names())
     e.add_argument("--preset", choices=("fast", "bench", "full"),
@@ -267,6 +382,7 @@ def main(argv=None):
         "diagnose": _cmd_diagnose,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
+        "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
     }[args.command]
     telemetry_out = getattr(args, "telemetry", None)

@@ -119,6 +119,15 @@ CATALOG = (
                "runs resumed from an existing checkpoint"),
     MetricSpec("checkpoint.phases_reused", COUNTER, "repro.faults",
                "checkpointed phase payloads reused instead of recomputed"),
+    # -- generated corpus & accuracy harness ---------------------------
+    MetricSpec("gen.programs_built", COUNTER, "workloads.generator",
+               "generated programs assembled from a ProgramSpec"),
+    MetricSpec("corpus.programs", COUNTER, "analysis.accuracy",
+               "corpus programs scored by the accuracy harness"),
+    MetricSpec("corpus.found", COUNTER, "analysis.accuracy",
+               "corpus programs whose root cause was ranked"),
+    MetricSpec("corpus.quarantined", COUNTER, "analysis.accuracy",
+               "corpus programs lost to injected faults (scored as misses)"),
     # -- offline training (core.offline / nn.trainer) ------------------
     MetricSpec("offline.correct_runs", COUNTER, "core.offline",
                "correct executions collected for training/pruning"),

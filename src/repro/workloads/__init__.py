@@ -17,11 +17,19 @@ from repro.workloads.framework import (
     ThreadCtx,
     run_program,
 )
+from repro.workloads.generator import (
+    ARCHETYPES,
+    MOTIFS,
+    GeneratedProgram,
+    ProgramSpec,
+    generate_program,
+)
 from repro.workloads.registry import (
     all_bug_names,
     all_kernel_names,
     get_bug,
     get_kernel,
+    get_workload,
 )
 
 __all__ = [
@@ -32,8 +40,14 @@ __all__ = [
     "Scheduler",
     "ThreadCtx",
     "run_program",
+    "ARCHETYPES",
+    "MOTIFS",
+    "GeneratedProgram",
+    "ProgramSpec",
+    "generate_program",
     "all_bug_names",
     "all_kernel_names",
     "get_bug",
     "get_kernel",
+    "get_workload",
 ]

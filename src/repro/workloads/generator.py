@@ -1,0 +1,519 @@
+"""Seeded random concurrent-program generator with injected bugs.
+
+The paper evaluates ACT on 11 hand-ported bugs (Table V) and 5 injected
+ones (Table VI) -- a fixed benchmark. This module turns that benchmark
+into an unbounded, *measurable* quality surface: from a single integer
+seed it generates a complete concurrent program whose communication
+structure mirrors the bundled kernels (regular owner-computes loops,
+producer/consumer queues, pipelines, pointer chasing) and weaves in
+exactly one bug from a catalogue of archetypes, tagging the
+machine-readable ground-truth root-cause dependence the diagnosis must
+surface.
+
+Determinism is the contract everything above relies on: a
+:class:`ProgramSpec` is a pure function of ``(seed, archetype, motif)``,
+and :meth:`GeneratedProgram.build` derives every structural choice
+(thread count, region shapes, payload values) from
+:func:`repro.common.rng.make_rng` streams keyed by the spec -- never
+from global RNG state -- so the same seed yields a byte-identical
+program (and, downstream, byte-identical corpus metrics) in any
+process, serial or parallel.
+
+Bug archetypes (each forces its failing interleaving deterministically
+with one-shot flags, exactly like the hand-written Table V bugs):
+
+- ``atomicity``: a two-phase update (mark busy, write, mark ready)
+  races a reader that observes the torn BUSY marker.
+- ``order``: missing join -- the main thread frees a shared descriptor
+  while a worker still reads it (the pbzip2 shape).
+- ``buffer_index``: an unchecked resize publishes a too-large limit and
+  the reader walks one word past its buffer into an adjacent object.
+- ``use_after_reset``: a recycled slot is cleared for the next round
+  while a straggling reader of the previous round still expects its
+  value.
+- ``off_by_one``: a sequential semantic bug -- the fill loop writes one
+  element short and the checker reads the stale cleared word.
+
+``buggy=False`` builds the properly synchronised variant used for
+offline training and pruning; it passes its own oracle under every
+scheduler seed. ``buggy=True`` ends in a
+:class:`~repro.common.errors.SimulatedFailure` whose root-cause
+dependence actually occurs in the failing interleaving.
+"""
+
+import zlib
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.common.errors import ReproError, SimulatedFailure
+from repro.common.rng import make_rng
+from repro.workloads.framework import (
+    AddressSpace,
+    CodeMap,
+    Program,
+    ProgramInstance,
+)
+
+ARCHETYPES = ("atomicity", "order", "buffer_index", "use_after_reset",
+              "off_by_one")
+MOTIFS = ("regular", "producer_consumer", "pipeline", "pointer_chase")
+
+_NAME_PREFIX = "gen"
+_SECRET = 0xBAD
+_BUSY, _READY = 0, 1
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Deterministic recipe for one generated program."""
+
+    seed: int
+    archetype: str
+    motif: str
+    n_workers: int
+    rounds: int
+    width: int
+
+    @classmethod
+    def from_seed(cls, seed, archetype=None, motif=None):
+        """Derive a spec from ``seed``; unset choices are drawn from it."""
+        rng = make_rng(seed, stream=zlib.crc32(b"genspec") & 0xFFFF)
+        # Always consume the same draws so a spec rebuilt from its name
+        # (explicit archetype/motif) has the same structure as one drawn
+        # freely from the seed.
+        drawn_archetype = rng.choice(ARCHETYPES)
+        drawn_motif = rng.choice(MOTIFS)
+        archetype = archetype or drawn_archetype
+        motif = motif or drawn_motif
+        if archetype not in ARCHETYPES:
+            raise ReproError(f"unknown bug archetype {archetype!r}; "
+                             f"known: {list(ARCHETYPES)}")
+        if motif not in MOTIFS:
+            raise ReproError(f"unknown motif {motif!r}; "
+                             f"known: {list(MOTIFS)}")
+        # Modest shapes keep each program's unique-window space small
+        # enough for a handful of training traces to cover (the same
+        # regime as the bundled kernels -- see EXPERIMENTS.md).
+        return cls(seed=seed, archetype=archetype, motif=motif,
+                   n_workers=rng.randint(2, 3),
+                   rounds=rng.randint(3, 4),
+                   width=rng.randint(3, 5))
+
+    @property
+    def name(self):
+        return (f"{_NAME_PREFIX}-{self.archetype}-{self.motif}-"
+                f"s{self.seed}")
+
+
+def parse_generated_name(name):
+    """Inverse of :attr:`ProgramSpec.name`; None if not a generated name.
+
+    Grammar: ``gen-<archetype>-<motif>-s<seed>`` (archetypes and motifs
+    contain ``_``, never ``-``, so the split is unambiguous).
+    """
+    parts = name.split("-")
+    if (len(parts) != 4 or parts[0] != _NAME_PREFIX
+            or not parts[3].startswith("s")):
+        return None
+    archetype, motif, seed_part = parts[1], parts[2], parts[3][1:]
+    if archetype not in ARCHETYPES or motif not in MOTIFS:
+        return None
+    try:
+        seed = int(seed_part)
+    except ValueError:
+        return None
+    return ProgramSpec.from_seed(seed, archetype=archetype, motif=motif)
+
+
+def generate_program(seed, archetype=None, motif=None):
+    """Generate a bug program for ``seed`` (convenience wrapper)."""
+    return GeneratedProgram(ProgramSpec.from_seed(seed, archetype=archetype,
+                                                  motif=motif))
+
+
+class GeneratedProgram(Program):
+    """A generated workload: one motif of benign traffic + one bug."""
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.name = spec.name
+
+    def default_params(self):
+        return {"buggy": False}
+
+    # -- motif scaffolds ----------------------------------------------
+    #
+    # Each motif builder returns (setup, round_fn):
+    #   setup(ctx)          -- main-thread stores initialising the
+    #                          shared region (before "ready").
+    #   round_fn(ctx, t, r) -- one round of benign traffic on worker t.
+    # Flag protocols only ever wait on flags set in the same or an
+    # earlier round, so the correct variant is deadlock-free under any
+    # scheduler seed.
+
+    def _motif_regular(self, cm, mem, spec, rng):
+        n, w = spec.n_workers, spec.width
+        grid = mem.array("grid", n * w)
+        s_init = cm.store("grid_init", function="main")
+        s_cell = cm.store("update_cell", function="sweep")
+        l_cell = cm.load("load_cell", function="sweep")
+        l_bnd = cm.load("load_boundary", function="sweep")
+        seeds = [rng.randrange(64) for _ in range(n * w)]
+
+        def setup(ctx):
+            for i in range(n * w):
+                yield ctx.store(s_init, grid + 4 * i, value=seeds[i])
+
+        def round_fn(ctx, t, r):
+            base = grid + 4 * t * w
+            if r > 0:
+                # Boundary exchange: read the left neighbour's last
+                # cell once it finished the previous round.
+                left = (t - 1) % n
+                yield ctx.wait(f"sweep.{left}.{r - 1}")
+                yield ctx.load(l_bnd, grid + 4 * (left * w + w - 1))
+            for i in range(w):
+                v = yield ctx.load(l_cell, base + 4 * i)
+                yield ctx.store(s_cell, base + 4 * i, value=(v or 0) + 1)
+            yield ctx.set_flag(f"sweep.{t}.{r}")
+
+        return setup, round_fn
+
+    def _motif_producer_consumer(self, cm, mem, spec, rng):
+        n, w = spec.n_workers, spec.width
+        queue = mem.array("queue", w)
+        s_put = cm.store("queue_put", function="producer")
+        l_get = cm.load("queue_get", function="consumer")
+        a_work = cm.alu("consume_item", function="consumer")
+        payload = [rng.randrange(1, 100) for _ in range(spec.rounds * n)]
+
+        def setup(ctx):
+            # Main is the producer: one item per (round, worker).
+            for i, v in enumerate(payload):
+                yield ctx.store(s_put, queue + 4 * (i % w), value=v)
+                yield ctx.set_flag(f"item.{i}")
+
+        def round_fn(ctx, t, r):
+            i = r * n + t
+            yield ctx.wait(f"item.{i}")
+            yield ctx.load(l_get, queue + 4 * (i % w))
+            yield ctx.alu(a_work)
+
+        return setup, round_fn
+
+    def _motif_pipeline(self, cm, mem, spec, rng):
+        n, w = spec.n_workers, spec.width
+        stages = mem.array("stage_bufs", (n + 1) * w)
+        s_src = cm.store("fill_source", function="main")
+        l_in = cm.load("stage_load", function="stage")
+        s_out = cm.store("stage_store", function="stage")
+        values = [rng.randrange(1, 50) for _ in range(spec.rounds)]
+
+        def setup(ctx):
+            for r, v in enumerate(values):
+                yield ctx.store(s_src, stages + 4 * (r % w), value=v)
+                yield ctx.set_flag(f"st.0.{r}")
+
+        def round_fn(ctx, t, r):
+            # Worker t is pipeline stage t+1; item r flows stage to
+            # stage, each stage reading its input buffer and writing
+            # its output buffer.
+            yield ctx.wait(f"st.{t}.{r}")
+            slot = r % w
+            v = yield ctx.load(l_in, stages + 4 * (t * w + slot))
+            yield ctx.store(s_out, stages + 4 * ((t + 1) * w + slot),
+                            value=(v or 0) + 1)
+            yield ctx.set_flag(f"st.{t + 1}.{r}")
+
+        return setup, round_fn
+
+    def _motif_pointer_chase(self, cm, mem, spec, rng):
+        n, w = spec.n_workers, spec.width
+        nodes = n * w
+        nxt = mem.array("next_ptrs", nodes)
+        val = mem.array("node_vals", nodes)
+        s_next = cm.store("link_node", function="main")
+        s_val = cm.store("init_value", function="main")
+        l_next = cm.load("chase_next", function="walk")
+        l_val = cm.load("chase_value", function="walk")
+        a_acc = cm.alu("accumulate", function="walk")
+        # A shuffled permutation as the successor array: it may split
+        # into several cycles, but every hop stays inside [0, nodes).
+        perm = list(range(1, nodes)) + [0]
+        rng.shuffle(perm)
+
+        def setup(ctx):
+            for i in range(nodes):
+                yield ctx.store(s_next, nxt + 4 * i, value=perm[i])
+                yield ctx.store(s_val, val + 4 * i, value=i * 3)
+
+        def round_fn(ctx, t, r):
+            node = (t * w + r) % nodes
+            for _ in range(w):
+                nx = yield ctx.load(l_next, nxt + 4 * node)
+                yield ctx.load(l_val, val + 4 * node)
+                yield ctx.alu(a_acc)
+                node = nx if nx is not None else 0
+
+        return setup, round_fn
+
+    # -- bug archetypes -----------------------------------------------
+    #
+    # Each weaver allocates its own shared objects and pcs, then
+    # returns (arch_setup, arch_round, arch_main, root_cause):
+    #   arch_setup(ctx)        -- main-thread initialisation stores.
+    #   arch_round(ctx, t, r)  -- injected per worker per round.
+    #   arch_main(ctx)         -- main-thread teardown (after setup and
+    #                             all producing is done).
+    # The buggy interleaving is forced with one-shot flags; the run
+    # ends in SimulatedFailure at the bad load, so the ground-truth
+    # dependence is the newest Debug Buffer entry at failure time.
+
+    def _arch_atomicity(self, cm, mem, spec, buggy):
+        val = mem.var("shared_val")
+        state = mem.var("val_state")
+        s_val0 = cm.store("init_val", function="main")
+        s_state0 = cm.store("init_state", function="main")
+        s_begin = cm.store("update_begin", function="update")
+        l_get = cm.load("update_load", function="update")
+        s_put = cm.store("update_store", function="update")
+        s_end = cm.store("update_end", function="update")
+        l_state = cm.load("reader_load_state", function="reader")
+        l_val = cm.load("reader_load_val", function="reader")
+        last = spec.rounds - 1
+
+        def arch_setup(ctx):
+            yield ctx.store(s_val0, val, value=0)
+            yield ctx.store(s_state0, state, value=_READY)
+
+        def arch_round(ctx, t, r):
+            race = buggy and r == last
+            if t == 0:
+                # The writer: a two-phase update that must be atomic.
+                if not race:
+                    yield ctx.acquire("val_lock")
+                yield ctx.store(s_begin, state, value=_BUSY)
+                if race:
+                    yield ctx.set_flag("torn.begun")
+                    yield ctx.wait("torn.observed")
+                v = yield ctx.load(l_get, val)
+                yield ctx.store(s_put, val, value=(v or 0) + 1)
+                yield ctx.store(s_end, state, value=_READY)
+                if not race:
+                    yield ctx.release("val_lock")
+            elif t == 1:
+                # The reader: may only observe READY states.
+                if race:
+                    yield ctx.wait("torn.begun")
+                else:
+                    yield ctx.acquire("val_lock")
+                st = yield ctx.load(l_state, state)
+                if st == _BUSY:
+                    raise SimulatedFailure(
+                        f"{spec.name}: reader observed torn BUSY state",
+                        pc=l_state)
+                yield ctx.load(l_val, val)
+                if not race:
+                    yield ctx.release("val_lock")
+
+        def arch_main(ctx):
+            return
+            yield  # pragma: no cover - generator-typed empty body
+
+        return arch_setup, arch_round, arch_main, {(s_begin, l_state)}
+
+    def _arch_order(self, cm, mem, spec, buggy):
+        desc = mem.var("descriptor")
+        s_dinit = cm.store("alloc_descriptor", function="main")
+        s_dfree = cm.store("free_descriptor", function="main")
+        l_desc = cm.load("use_descriptor", function="worker")
+        victim = spec.n_workers - 1
+        last = spec.rounds - 1
+
+        def arch_setup(ctx):
+            yield ctx.store(s_dinit, desc, value=1)
+
+        def arch_round(ctx, t, r):
+            if buggy and t == victim and r == last:
+                # The worker announces its final use; main "joins" too
+                # early and frees first.
+                yield ctx.set_flag("draining")
+                yield ctx.wait("freed")
+            v = yield ctx.load(l_desc, desc)
+            if not v:
+                raise SimulatedFailure(
+                    f"{spec.name}: use of freed descriptor", pc=l_desc)
+
+        def arch_main(ctx):
+            if buggy:
+                yield ctx.wait("draining")
+                yield ctx.store(s_dfree, desc, value=0)
+                yield ctx.set_flag("freed")
+            else:
+                for t in range(spec.n_workers):
+                    yield ctx.wait(f"worker_done.{t}")
+                yield ctx.store(s_dfree, desc, value=0)
+
+        return arch_setup, arch_round, arch_main, {(s_dfree, l_desc)}
+
+    def _arch_buffer_index(self, cm, mem, spec, buggy):
+        w = spec.width
+        buf = mem.array("shared_buf", w)
+        secret = mem.var("adjacent_obj", packed=True)
+        limit = mem.var("buf_limit")
+        s_binit = cm.store("init_buf", function="main")
+        s_sec = cm.store("init_adjacent", function="main")
+        s_lim = cm.store("init_limit", function="main")
+        s_badlim = cm.store("unchecked_resize", function="resize")
+        l_lim = cm.load("scan_load_limit", function="scan")
+        l_buf = cm.load("scan_load_elem", function="scan")
+        last = spec.rounds - 1
+
+        def arch_setup(ctx):
+            for i in range(w):
+                yield ctx.store(s_binit, buf + 4 * i, value=100 + i)
+            yield ctx.store(s_sec, secret, value=_SECRET)
+            yield ctx.store(s_lim, limit, value=w)
+
+        def arch_round(ctx, t, r):
+            if t == 1 and buggy and r == last:
+                # The corrupting thread publishes a limit one past the
+                # buffer, unchecked, before the scanner reads it.
+                yield ctx.store(s_badlim, limit, value=w + 1)
+                yield ctx.set_flag("clobbered")
+            if t == 0:
+                if buggy and r == last:
+                    yield ctx.wait("clobbered")
+                n = yield ctx.load(l_lim, limit)
+                for i in range(n or 0):
+                    v = yield ctx.load(l_buf, buf + 4 * i)
+                    if v == _SECRET:
+                        raise SimulatedFailure(
+                            f"{spec.name}: scan read past buffer into "
+                            "adjacent object", pc=l_buf)
+
+        def arch_main(ctx):
+            return
+            yield  # pragma: no cover - generator-typed empty body
+
+        return arch_setup, arch_round, arch_main, {(s_badlim, l_lim),
+                                                   (s_sec, l_buf)}
+
+    def _arch_use_after_reset(self, cm, mem, spec, buggy):
+        slot = mem.var("session_slot")
+        s_set = cm.store("slot_set", function="owner")
+        s_reset = cm.store("slot_reset", function="recycler")
+        l_slot = cm.load("slot_use", function="reader")
+        readers = list(range(1, spec.n_workers))
+        victim = readers[-1]
+        last = spec.rounds - 1
+
+        def arch_setup(ctx):
+            return
+            yield  # pragma: no cover - generator-typed empty body
+
+        def arch_round(ctx, t, r):
+            if t == 0:
+                # The owner publishes this round's session value.
+                if r > 0:
+                    yield ctx.wait(f"slot_clear.{r - 1}")
+                yield ctx.store(s_set, slot, value=r + 1)
+                yield ctx.set_flag(f"slot_ready.{r}")
+            else:
+                yield ctx.wait(f"slot_ready.{r}")
+                if buggy and t == victim and r == last:
+                    # The straggler: recycled before it reads.
+                    yield ctx.wait(f"slot_clear.{r}")
+                v = yield ctx.load(l_slot, slot)
+                if not v:
+                    raise SimulatedFailure(
+                        f"{spec.name}: read of recycled session slot",
+                        pc=l_slot)
+                yield ctx.set_flag(f"slot_used.{r}.{t}")
+
+        def arch_main(ctx):
+            # Main recycles the slot between rounds; in the buggy run
+            # it skips waiting for the victim's last-round use.
+            for r in range(spec.rounds):
+                yield ctx.wait(f"slot_ready.{r}")
+                for t in readers:
+                    if buggy and t == victim and r == last:
+                        continue
+                    yield ctx.wait(f"slot_used.{r}.{t}")
+                yield ctx.store(s_reset, slot, value=0)
+                yield ctx.set_flag(f"slot_clear.{r}")
+
+        return arch_setup, arch_round, arch_main, {(s_reset, l_slot)}
+
+    def _arch_off_by_one(self, cm, mem, spec, buggy):
+        m = spec.width
+        arr = mem.array("fill_arr", m)
+        s_zero = cm.store("clear_elem", function="fill")
+        s_fill = cm.store("fill_elem", function="fill")
+        l_chk = cm.load("check_elem", function="check")
+        fill_n = m - 1 if buggy else m
+
+        def arch_setup(ctx):
+            return
+            yield  # pragma: no cover - generator-typed empty body
+
+        def arch_round(ctx, t, r):
+            return
+            yield  # pragma: no cover - generator-typed empty body
+
+        def arch_main(ctx):
+            # A sequential semantic bug on the main thread, after the
+            # motif work: clear, fill (one short when buggy), verify.
+            for i in range(m):
+                yield ctx.store(s_zero, arr + 4 * i, value=0)
+            for i in range(fill_n):
+                yield ctx.store(s_fill, arr + 4 * i, value=10 + i)
+            for i in range(m):
+                v = yield ctx.load(l_chk, arr + 4 * i)
+                if not v:
+                    raise SimulatedFailure(
+                        f"{spec.name}: checker read unfilled element "
+                        f"{i}", pc=l_chk)
+
+        return arch_setup, arch_round, arch_main, {(s_zero, l_chk)}
+
+    # -- assembly ------------------------------------------------------
+
+    def build(self, buggy=False):
+        spec = self.spec
+        cm = CodeMap()
+        mem = AddressSpace()
+        rng = make_rng(spec.seed, stream=zlib.crc32(b"genbuild") & 0xFFFF)
+
+        motif_builder = getattr(self, f"_motif_{spec.motif}")
+        arch_builder = getattr(self, f"_arch_{spec.archetype}")
+        setup, round_fn = motif_builder(cm, mem, spec, rng)
+        arch_setup, arch_round, arch_main, root = arch_builder(
+            cm, mem, spec, buggy)
+
+        def main(ctx):
+            yield from arch_setup(ctx)
+            yield from setup(ctx)
+            yield ctx.set_flag("ready")
+            yield from arch_main(ctx)
+
+        def worker_for(t):
+            def worker(ctx):
+                yield ctx.wait("ready")
+                for r in range(spec.rounds):
+                    yield from round_fn(ctx, t, r)
+                    yield from arch_round(ctx, t, r)
+                yield ctx.set_flag(f"worker_done.{t}")
+            return worker
+
+        bodies = [main] + [worker_for(t) for t in range(spec.n_workers)]
+        inst = ProgramInstance(spec.name, cm, bodies,
+                               params={"buggy": buggy,
+                                       "archetype": spec.archetype,
+                                       "motif": spec.motif,
+                                       "seed": spec.seed})
+        inst.root_cause = root
+        tele = telemetry.get_registry()
+        if tele.enabled:
+            tele.inc("gen.programs_built")
+        return inst

@@ -1,8 +1,14 @@
-"""Registry of benchmark kernels and bug programs.
+"""Registry of benchmark kernels, bug programs, and generated programs.
 
 Kernels model the communication structure of the paper's SPLASH2 /
 PARSEC / SPEC / coreutils applications; bugs model the paper's 11 real
-bugs and 5 injected bugs (Tables V and VI).
+bugs and 5 injected bugs (Tables V and VI). Beyond the fixed sets, any
+name matching the generated-program grammar
+``gen-<archetype>-<motif>-s<seed>`` (see
+:mod:`repro.workloads.generator`) resolves to a deterministic seeded
+workload, so generated programs are first-class everywhere a bug name
+is accepted -- ``repro diagnose``, ``repro trace``, and the corpus
+harness.
 """
 
 from repro.common.errors import ReproError
@@ -40,14 +46,50 @@ def get_kernel(name):
                          f"{sorted(_KERNELS)}") from None
 
 
+def _resolve_generated(name):
+    """A GeneratedProgram for a ``gen-...`` name, else None."""
+    from repro.workloads.generator import GeneratedProgram, parse_generated_name
+
+    spec = parse_generated_name(name)
+    if spec is None:
+        return None
+    return GeneratedProgram(spec)
+
+
 def get_bug(name):
-    """Instantiate the bug program registered under ``name``."""
+    """Instantiate the bug program registered under ``name``.
+
+    Generated-program names (``gen-<archetype>-<motif>-s<seed>``) are
+    resolved on the fly -- a generated bug behaves exactly like a
+    bundled one (``buggy`` parameter, ground-truth root cause).
+    """
     _ensure_loaded()
     try:
         return _BUGS[name]()
     except KeyError:
-        raise ReproError(f"unknown bug {name!r}; known: "
-                         f"{sorted(_BUGS)}") from None
+        generated = _resolve_generated(name)
+        if generated is not None:
+            return generated
+        raise ReproError(
+            f"unknown bug {name!r}; known: {sorted(_BUGS)} "
+            "(or a generated name like 'gen-atomicity-pipeline-s7')"
+        ) from None
+
+
+def get_workload(name):
+    """Resolve ``name`` as a kernel, a bug, or a generated program."""
+    _ensure_loaded()
+    if name in _KERNELS:
+        return _KERNELS[name]()
+    if name in _BUGS:
+        return _BUGS[name]()
+    generated = _resolve_generated(name)
+    if generated is not None:
+        return generated
+    raise ReproError(
+        f"unknown workload {name!r}; known kernels: {sorted(_KERNELS)}, "
+        f"bugs: {sorted(_BUGS)} "
+        "(or a generated name like 'gen-atomicity-pipeline-s7')")
 
 
 def all_kernel_names():

@@ -1,4 +1,11 @@
-"""Shared fixtures: fast configs, tiny programs, cached trained models."""
+"""Shared fixtures: fast configs, tiny programs, cached trained models.
+
+Also registers the ``slow`` and ``corpus`` markers and the golden-file
+machinery. ``corpus``-marked tests (full accuracy-corpus runs, minutes
+of wall time) are deselected by default; opt in with ``--run-corpus``.
+``--update-golden`` rewrites the golden files under ``tests/golden/``
+instead of comparing against them.
+"""
 
 import pytest
 
@@ -11,6 +18,38 @@ from repro.workloads.framework import (
     Program,
     ProgramInstance,
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-corpus", action="store_true", default=False,
+        help="run corpus-marked tests (full accuracy-corpus e2e runs)")
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ files instead of comparing")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (kept in tier-1, but flagged)")
+    config.addinivalue_line(
+        "markers",
+        "corpus: full accuracy-corpus e2e test; deselected unless "
+        "--run-corpus is given")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-corpus"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-corpus")
+    for item in items:
+        if "corpus" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 class PingPong(Program):

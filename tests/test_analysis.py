@@ -29,6 +29,7 @@ class TestTable1:
         assert "ACT" in out and "PSet" in out
 
 
+@pytest.mark.slow
 class TestTable4:
     @pytest.fixture(scope="class")
     def rows(self):
@@ -55,6 +56,7 @@ class TestTable4:
         assert "Average" in out
 
 
+@pytest.mark.slow
 class TestFig7a:
     def test_false_negative_rates(self):
         from repro.analysis.fig7a import format_fig7a, run_fig7a
@@ -87,6 +89,7 @@ class TestTable5:
         assert "mysql2" in out and "n/a (sequential)" in out
 
 
+@pytest.mark.slow
 class TestTable6:
     def test_injected_bugs_found_and_filtered(self):
         from repro.analysis.table6 import format_table6, run_table6
@@ -111,6 +114,7 @@ class TestFig7b:
         assert "average" in format_fig7b(points)
 
 
+@pytest.mark.slow
 class TestOverhead:
     @pytest.fixture(scope="class")
     def study(self):
@@ -136,6 +140,7 @@ class TestOverhead:
         assert "Average" in out and "multiply-add" in out
 
 
+@pytest.mark.slow
 class TestFalseSharing:
     def test_line_granularity_effects(self):
         from repro.analysis.false_sharing import (

@@ -21,9 +21,21 @@ class TestParser:
         assert args_dict["debug_buffer"] == 60
         assert args_dict["seq_len"] == 5
 
-    def test_unknown_bug_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["diagnose", "not-a-bug"])
+    def test_unknown_bug_rejected(self, capsys):
+        # Bug names resolve at run time now (the generated-name grammar
+        # is open-ended), so a bad name is a clean error, not usage.
+        rc = main(["diagnose", "not-a-bug"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown bug" in err and "gen-atomicity-pipeline-s7" in err
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        args_dict = vars(args)
+        assert args_dict["seed"] == 7
+        assert args_dict["size"] == 20
+        assert args_dict["seq_len"] == 3
+        assert args_dict["top"] == 5
 
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
@@ -71,6 +83,27 @@ class TestCommands:
         assert main(["profile", "lu", "mcf"]) == 0
         out = capsys.readouterr().out
         assert "lu" in out and "mcf" in out and "Inter %" in out
+
+    def test_list_mentions_generated_grammar(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gen-<archetype>-<motif>-s<seed>" in out
+        assert "corpus" in out
+
+    def test_diagnose_generated_bug(self, capsys):
+        rc = main(["diagnose", "gen-order-pipeline-s7", "--seq-len", "3",
+                   "--train-runs", "4", "--pruning-runs", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "root cause found : True" in out
+
+    def test_trace_generated_program(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.jsonl"
+        rc = main(["trace", "gen-off_by_one-regular-s3",
+                   "--out", str(out_file)])
+        assert rc == 0
+        from repro.trace.trace_io import read_trace
+        assert len(read_trace(out_file).events) > 0
 
     def test_trace_missing_out_dir(self, tmp_path, capsys):
         out_file = tmp_path / "no" / "such" / "dir" / "t.jsonl"
@@ -182,6 +215,61 @@ class TestFaultsCLI:
                    "--pruning-runs", "6", "--resume", str(ck)])
         assert rc == 2
         assert "fingerprint" in capsys.readouterr().err
+
+
+class TestCorpusCLI:
+    ARGS = ["--seed", "3", "--size", "2",
+            "--train-runs", "4", "--pruning-runs", "6"]
+
+    def test_corpus_reports_tables(self, capsys):
+        rc = main(["corpus", *self.ARGS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Corpus diagnosis (seed 3, 2 programs)" in out
+        assert "Accuracy by archetype and motif" in out
+        assert "Recall (%)" in out and "Mean Rank" in out
+
+    def test_corpus_out_is_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["corpus", *self.ARGS, "--out", str(a)]) == 0
+        assert main(["corpus", *self.ARGS, "--jobs", "2",
+                     "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        import json
+        doc = json.loads(a.read_text())
+        assert doc["overall"]["n_programs"] == 2
+        assert doc["spec"]["seed"] == 3
+
+    def test_corpus_telemetry_counters(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        rc = main(["corpus", *self.ARGS, "--telemetry", str(out)])
+        assert rc == 0
+        profile = read_profile(out)
+        counters = profile["counters"]
+        assert counters["corpus.programs"] == 2
+        assert counters["diagnose.runs"] == 2
+        assert "corpus.quarantined" in counters
+        (root,) = profile["spans"]
+        assert root["name"] == "corpus"
+
+    def test_corpus_checkpoint_then_resume(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(["corpus", *self.ARGS, "--checkpoint", str(ck)]) == 0
+        first = capsys.readouterr().out
+        assert ck.exists()
+        assert main(["corpus", *self.ARGS, "--resume", str(ck)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_corpus_resume_requires_existing_checkpoint(self, tmp_path,
+                                                        capsys):
+        rc = main(["corpus", "--resume", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_corpus_bad_faults_spec_rejected(self, capsys):
+        rc = main(["corpus", "--faults", "frobnicate=1"])
+        assert rc == 2
+        assert "bad --faults spec" in capsys.readouterr().err
 
 
 class TestModuleEntryPoint:

@@ -50,6 +50,7 @@ def _normalized(snapshot):
             "spans": _strip_spans(snapshot["spans"])}
 
 
+@pytest.mark.slow
 class TestZeroFaultIdentity:
     @pytest.mark.parametrize("bug", all_bug_names())
     def test_report_and_telemetry_identical(self, bug):
@@ -227,6 +228,7 @@ _trace_plans = st.builds(
 )
 
 
+@pytest.mark.slow
 class TestNoFaultEscapesQuarantine:
     @settings(max_examples=10, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
