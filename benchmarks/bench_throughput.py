@@ -10,13 +10,20 @@ Two measurements, both recorded into ``benchmarks/results/`` and into
    bit-identical, so anything short of a real speedup is a regression:
    the assertion fails if batched replay is not faster than scalar.
 2. **Parallel orchestration** -- wall time of correct-run collection,
-   serial vs a worker pool (``jobs``), with identical outputs.
+   serial vs a worker pool (``jobs``), with identical outputs. Pool
+   startup (process spawn + import) is measured separately so the
+   recorded speedup comes in two flavours: *cold* includes the spawn
+   cost a one-shot CLI run pays, *warm* subtracts it and reflects the
+   steady-state orchestration speedup. The trend history tracks the
+   warm number -- spawn cost is a property of the host, not of this
+   code.
 """
 
 import json
 import os
 import pathlib
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.core.config import ACTConfig
@@ -30,20 +37,59 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 # Trace-repeat factor: the deploy replay concatenates one correct lu
 # trace this many times, giving a long TESTING-dominated dependence
 # stream (the production steady state the fast path targets).
-REPEATS = {"fast": 40, "bench": 200, "full": 500}
+# "fast" is still long enough (~0.3s scalar) that the recorded speedup
+# ratio is stable to well under the trend gate's 30% threshold.
+REPEATS = {"fast": 80, "bench": 200, "full": 500}
 N_PARALLEL_RUNS = {"fast": 8, "bench": 16, "full": 32}
+
+
+def _noop(_):
+    return None
+
+
+def measure_pool_startup(jobs, rounds=2):
+    """Seconds to spawn ``jobs`` workers and round-trip one no-op each.
+
+    This is the fixed cost every ``run_tasks`` pool batch pays before
+    any real work runs (fork/spawn + interpreter + imports); best of
+    ``rounds`` fresh pools.
+    """
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=jobs) as ex:
+            list(ex.map(_noop, range(jobs)))
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best
 
 
 def _best_of(fn, rounds=3):
     """Smallest wall time over ``rounds`` calls; returns (seconds, result)."""
-    best, out = None, None
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        result = fn()
-        dt = time.perf_counter() - t0
-        if best is None or dt < best:
-            best, out = dt, result
+    (best,), (out,) = _best_of_each([fn], rounds=rounds)
     return best, out
+
+
+def _best_of_each(fns, rounds=3):
+    """Best-of timings for several functions, rounds *interleaved*.
+
+    Measuring a-a-a then b-b-b lets a load spike or frequency change
+    midway skew the a/b ratio; interleaving a-b, a-b, a-b gives every
+    function a sample under each machine condition, so best-of ratios
+    stay honest. Returns (seconds list, results list), index-aligned
+    with ``fns``.
+    """
+    bests = [None] * len(fns)
+    outs = [None] * len(fns)
+    for _ in range(rounds):
+        for j, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            result = fn()
+            dt = time.perf_counter() - t0
+            if bests[j] is None or dt < bests[j]:
+                bests[j], outs[j] = dt, result
+    return bests, outs
 
 
 def test_throughput(preset, save_result):
@@ -55,10 +101,10 @@ def test_throughput(preset, save_result):
     # --- batched replay vs scalar ------------------------------------
     base = run_program(prog, seed=99)
     long_run = replace(base, events=base.events * REPEATS[preset.name])
-    t_scalar, d_scalar = _best_of(
-        lambda: deploy_on_run(trained, long_run, fast=False))
-    t_fast, d_fast = _best_of(
-        lambda: deploy_on_run(trained, long_run, fast=True))
+    (t_scalar, t_fast), (d_scalar, d_fast) = _best_of_each(
+        [lambda: deploy_on_run(trained, long_run, fast=False),
+         lambda: deploy_on_run(trained, long_run, fast=True)],
+        rounds=4)
     assert d_fast.n_deps == d_scalar.n_deps
     for tid, module in d_scalar.modules.items():
         assert d_fast.modules[tid].stats == module.stats
@@ -71,14 +117,17 @@ def test_throughput(preset, save_result):
     # At least 2 workers so the pool path is exercised even on one CPU
     # (where the recorded "speedup" will honestly come out ~1x or less).
     jobs = preset.jobs or max(2, min(4, os.cpu_count() or 1))
-    t_serial, runs_serial = _best_of(
-        lambda: collect_correct_runs(prog, n_runs, seed0=0), rounds=2)
-    t_jobs, runs_jobs = _best_of(
-        lambda: collect_correct_runs(prog, n_runs, seed0=0, jobs=jobs),
+    (t_serial, t_jobs), (runs_serial, runs_jobs) = _best_of_each(
+        [lambda: collect_correct_runs(prog, n_runs, seed0=0),
+         lambda: collect_correct_runs(prog, n_runs, seed0=0, jobs=jobs)],
         rounds=2)
     assert [r.seed for r in runs_jobs] == [r.seed for r in runs_serial]
     assert all(a.events == b.events
                for a, b in zip(runs_serial, runs_jobs))
+    # Pool startup measured on its own: t_jobs above paid it once (each
+    # run_tasks batch spawns a fresh pool), the warm figure removes it.
+    t_startup = measure_pool_startup(jobs)
+    t_warm = max(t_jobs - t_startup, 1e-9)
 
     payload = {
         "preset": preset.name,
@@ -98,7 +147,11 @@ def test_throughput(preset, save_result):
             "jobs": jobs,
             "serial_seconds": round(t_serial, 6),
             "parallel_seconds": round(t_jobs, 6),
+            "pool_startup_seconds": round(t_startup, 6),
+            "parallel_warm_seconds": round(t_warm, 6),
             "speedup": round(t_serial / t_jobs, 2),
+            "speedup_cold": round(t_serial / t_jobs, 2),
+            "speedup_warm": round(t_serial / t_warm, 2),
         },
     }
     (REPO_ROOT / "BENCH_throughput.json").write_text(
@@ -113,8 +166,11 @@ def test_throughput(preset, save_result):
         "",
         f"Run collection ({n_runs} correct runs, jobs={jobs})",
         f"  serial              : {t_serial:.3f} s",
-        f"  parallel            : {t_jobs:.3f} s",
-        f"  speedup             : {t_serial / t_jobs:.2f}x",
+        f"  parallel (cold)     : {t_jobs:.3f} s",
+        f"  pool startup        : {t_startup:.3f} s",
+        f"  parallel (warm)     : {t_warm:.3f} s",
+        f"  speedup cold/warm   : {t_serial / t_jobs:.2f}x / "
+        f"{t_serial / t_warm:.2f}x",
     ]
     save_result("throughput", "\n".join(lines))
 

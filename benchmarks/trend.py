@@ -1,0 +1,165 @@
+"""Perf-trend harness: append bench runs to a history, gate regressions.
+
+``BENCH_throughput.json`` is a single point; this module gives it a
+trajectory. Each invocation appends the current benchmark payload as
+one JSONL entry to ``BENCH_history.jsonl`` and compares the *gated*
+metrics against the last recorded entry, failing (exit 1) when any of
+them regresses beyond the threshold (30% by default).
+
+Gated metrics are machine-portable ratios (the replay speedup), not
+absolute deps/sec: a CI runner two times slower than the last machine
+should not trip the gate, a fast path that lost its speedup should.
+Absolute throughput and the pool-orchestration speedups are still
+recorded in every entry so the trajectory can be plotted.
+
+Usage (what the ``bench-trend`` CI job runs)::
+
+    python benchmarks/trend.py --bench BENCH_throughput.json \
+        --history BENCH_history.jsonl --threshold 0.30
+"""
+
+import argparse
+import json
+import sys
+import time
+
+DEFAULT_THRESHOLD = 0.30
+
+# metric path -> direction; gated metrics fail the run on regression,
+# tracked metrics are recorded for the trajectory only. The replay
+# speedup is the one ratio stable enough to gate: it divides two
+# multi-hundred-millisecond measurements of the same deterministic
+# compute. The pool speedups are tracked but not gated -- they sit in
+# the single-millisecond regime on the fast preset, where scheduler
+# noise alone exceeds any sensible threshold.
+GATED_METRICS = {
+    "replay.speedup": "higher",
+}
+TRACKED_METRICS = {
+    "replay.batched_deps_per_sec": "higher",
+    "replay.scalar_deps_per_sec": "higher",
+    "parallel.speedup_warm": "higher",
+    "parallel.speedup_cold": "higher",
+}
+
+
+def get_metric(payload, path):
+    """Resolve a dotted ``path`` in a nested dict (None when missing)."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def load_history(path):
+    """Entries of a history file, oldest first (missing file = empty)."""
+    entries = []
+    try:
+        with open(str(path), "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    except OSError:
+        pass
+    return entries
+
+
+def make_entry(payload, timestamp=None, source=None):
+    """One history entry: flat metrics plus provenance."""
+    metrics = {}
+    for path in sorted(set(GATED_METRICS) | set(TRACKED_METRICS)):
+        value = get_metric(payload, path)
+        if value is not None:
+            metrics[path] = value
+    entry = {
+        "timestamp": (time.time() if timestamp is None else timestamp),
+        "preset": payload.get("preset"),
+        "metrics": metrics,
+    }
+    if source:
+        entry["source"] = source
+    return entry
+
+
+def append_entry(history_path, entry):
+    """Append ``entry`` as one JSONL line to the history file."""
+    with open(str(history_path), "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def check_regressions(previous, current, threshold=DEFAULT_THRESHOLD):
+    """Gated metrics of ``current`` vs ``previous``; returns regressions.
+
+    Each regression is a dict with the metric, both values and the
+    fractional drop. A gated metric missing from either entry is
+    skipped (new metrics must not fail the first run that records
+    them).
+    """
+    regressions = []
+    prev_metrics = previous.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for path in sorted(GATED_METRICS):
+        old = prev_metrics.get(path)
+        new = cur_metrics.get(path)
+        if old is None or new is None or old <= 0:
+            continue
+        drop = (old - new) / old
+        if drop > threshold:
+            regressions.append({"metric": path, "previous": old,
+                                "current": new, "drop": round(drop, 4)})
+    return regressions
+
+
+def run_trend(bench_path, history_path, threshold=DEFAULT_THRESHOLD,
+              timestamp=None, source=None, out=sys.stdout):
+    """Append the bench payload to the history and gate it; returns rc."""
+    with open(str(bench_path), "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    history = load_history(history_path)
+    entry = make_entry(payload, timestamp=timestamp, source=source)
+    append_entry(history_path, entry)
+    print(f"appended entry #{len(history) + 1} to {history_path}", file=out)
+    for path, value in sorted(entry["metrics"].items()):
+        gate = " [gated]" if path in GATED_METRICS else ""
+        print(f"  {path} = {value}{gate}", file=out)
+    if not history:
+        print("no previous entry; nothing to gate against", file=out)
+        return 0
+    regressions = check_regressions(history[-1], entry, threshold=threshold)
+    if not regressions:
+        print(f"trend OK: no gated metric regressed more than "
+              f"{threshold:.0%} vs the previous entry", file=out)
+        return 0
+    for reg in regressions:
+        print(f"REGRESSION: {reg['metric']} fell {reg['drop']:.1%} "
+              f"({reg['previous']} -> {reg['current']}), "
+              f"threshold {threshold:.0%}", file=out)
+    return 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="append a bench run to the perf history and fail on "
+                    "regressions beyond the threshold")
+    parser.add_argument("--bench", default="BENCH_throughput.json",
+                        help="benchmark payload to record")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="JSONL history file to append to")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional regression that fails the run "
+                             "(default 0.30)")
+    parser.add_argument("--source", default=None,
+                        help="provenance label recorded in the entry "
+                             "(e.g. 'ci')")
+    args = parser.parse_args(argv)
+    return run_trend(args.bench, args.history, threshold=args.threshold,
+                     source=args.source)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

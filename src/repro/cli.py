@@ -24,12 +24,19 @@ records a workload execution to a JSON-lines trace file; ``experiment``
 regenerates one of the paper's tables/figures; ``corpus`` runs the
 diagnosis-accuracy harness over a seeded generated corpus and prints
 precision/recall/rank tables (see ``docs/accuracy.md``).
-``diagnose``/``trace``/``experiment`` accept ``--telemetry PATH`` to
-export a run profile (counters + nested phase spans, see
-:mod:`repro.telemetry`); ``profile`` renders such profiles for humans --
-given a bug name it runs a telemetry-enabled diagnosis and prints the
-phase/counter tables, given kernel names it prints the communication
-profile, and ``--load`` re-renders a saved profile JSON.
+``diagnose``/``trace``/``corpus``/``experiment`` accept ``--telemetry
+PATH`` to export a run profile (counters + nested phase spans, see
+:mod:`repro.telemetry`), ``--events PATH`` to attach the bounded
+flight recorder and flush its JSONL event stream, and ``--tick-clock``
+to drive all telemetry timestamps from a deterministic tick clock
+(byte-identical exports across reruns, including ``--jobs N`` runs).
+``profile`` renders profiles for humans -- given a bug name it runs a
+telemetry-enabled diagnosis and prints the phase/counter tables, given
+kernel names it prints the communication profile, and ``--load``
+re-renders a saved profile JSON *or* a flight recording; ``--flame``
+emits folded stacks for flamegraph tooling, ``--critical-path`` the
+heaviest root-to-leaf span chain, and ``--openmetrics`` the OpenMetrics
+text exposition of the metrics.
 """
 
 import argparse
@@ -42,7 +49,19 @@ from repro.common.errors import CheckpointError, ReproError
 from repro.core.config import ACTConfig
 from repro.core.diagnosis import diagnose_failure
 from repro.faults import FaultPlan, Quarantine
-from repro.telemetry import format_profile, profile_dict, read_profile
+from repro.telemetry import (
+    FlightRecorder,
+    TickClock,
+    format_critical_path,
+    format_flame,
+    format_profile,
+    is_event_stream,
+    profile_dict,
+    read_events_profile,
+    read_profile,
+    render_openmetrics,
+)
+from repro.telemetry import selfcost
 from repro.trace.trace_io import write_trace
 from repro.workloads.framework import run_program
 from repro.workloads.registry import (
@@ -128,7 +147,8 @@ def _cmd_diagnose(args):
 def _bug_run_profile(name, args):
     """Diagnose ``name`` under a fresh registry; return the profile dict."""
     program = get_bug(name)
-    registry = telemetry.Registry()
+    tick = getattr(args, "tick_clock", False)
+    registry = telemetry.Registry(clock=TickClock() if tick else None)
     with telemetry.use_registry(registry):
         report = diagnose_failure(program,
                                   n_train_runs=args.train_runs,
@@ -136,7 +156,25 @@ def _bug_run_profile(name, args):
     meta = {"program": name, "found": report.found}
     if report.rank is not None:
         meta["rank"] = report.rank
-    return profile_dict(registry, meta=meta)
+    return profile_dict(
+        registry, meta=meta, self_overhead=True,
+        calibration=selfcost.PINNED_CALIBRATION if tick else None)
+
+
+def _render_profile(profile, args, title=None):
+    """Print the requested views of ``profile`` (tables by default)."""
+    rendered = False
+    if getattr(args, "flame", False):
+        print(format_flame(profile.get("spans") or []))
+        rendered = True
+    if getattr(args, "critical_path", False):
+        print(format_critical_path(profile.get("spans") or []))
+        rendered = True
+    if getattr(args, "openmetrics", False):
+        print(render_openmetrics(profile))
+        rendered = True
+    if not rendered:
+        print(format_profile(profile, title=title))
 
 
 def _cmd_profile(args):
@@ -145,7 +183,9 @@ def _cmd_profile(args):
             print(f"error: profile {args.load!r} does not exist",
                   file=sys.stderr)
             return 2
-        print(format_profile(read_profile(args.load)))
+        profile = (read_events_profile(args.load)
+                   if is_event_stream(args.load) else read_profile(args.load))
+        _render_profile(profile, args)
         return 0
     from repro.workloads.generator import parse_generated_name
 
@@ -158,7 +198,7 @@ def _cmd_profile(args):
             profile = _bug_run_profile(name, args)
             if not first:
                 print()
-            print(format_profile(profile, title=f"run profile: {name}"))
+            _render_profile(profile, args, title=f"run profile: {name}")
             first = False
         else:
             from repro.sim.trace_stats import profile_run
@@ -266,6 +306,26 @@ def _cmd_experiment(args):
     return 0
 
 
+def _add_telemetry_args(cmd):
+    """The telemetry trio shared by every pipeline-running command."""
+    cmd.add_argument("--telemetry", metavar="PATH",
+                     help="export a telemetry run profile (json/jsonl)")
+    cmd.add_argument("--events", metavar="PATH",
+                     help="attach the bounded flight recorder and flush "
+                          "its JSONL event stream (span open/close, "
+                          "counter deltas, fault/quarantine events, "
+                          "simulator samples) to PATH")
+    cmd.add_argument("--events-capacity", type=int, default=None,
+                     metavar="N",
+                     help="flight-recorder ring size (default 65536; "
+                          "oldest non-span events drop first)")
+    cmd.add_argument("--tick-clock", action="store_true",
+                     help="drive telemetry timestamps from a deterministic "
+                          "tick clock: exports and event streams become "
+                          "byte-identical across reruns (self-overhead is "
+                          "then modelled from pinned unit costs)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="ACT failure-diagnosis reproduction")
@@ -293,8 +353,7 @@ def build_parser():
     d.add_argument("--no-fast", dest="fast", action="store_false",
                    help="replay the failure run through the scalar "
                         "reference path instead of the batched fast path")
-    d.add_argument("--telemetry", metavar="PATH",
-                   help="export a telemetry run profile (json/jsonl)")
+    _add_telemetry_args(d)
     d.add_argument("--checkpoint", metavar="PATH",
                    help="save checksummed phase snapshots to PATH "
                         "(created if missing, resumed if present)")
@@ -313,8 +372,7 @@ def build_parser():
     t.add_argument("program")
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--out", default="trace.jsonl")
-    t.add_argument("--telemetry", metavar="PATH",
-                   help="export a telemetry run profile (json/jsonl)")
+    _add_telemetry_args(t)
 
     p = sub.add_parser(
         "profile",
@@ -325,7 +383,18 @@ def build_parser():
     p.add_argument("--train-runs", type=int, default=6)
     p.add_argument("--pruning-runs", type=int, default=8)
     p.add_argument("--load", metavar="PATH",
-                   help="render a previously saved telemetry profile")
+                   help="render a previously saved telemetry profile or "
+                        "flight recording")
+    p.add_argument("--flame", action="store_true",
+                   help="print folded stacks (flamegraph.pl/speedscope "
+                        "input) instead of tables")
+    p.add_argument("--critical-path", action="store_true",
+                   help="print the heaviest root-to-leaf span chain")
+    p.add_argument("--openmetrics", action="store_true",
+                   help="print the metrics in OpenMetrics text format")
+    p.add_argument("--tick-clock", action="store_true",
+                   help="use the deterministic tick clock for fresh "
+                        "profile runs")
 
     c = sub.add_parser(
         "corpus",
@@ -347,8 +416,7 @@ def build_parser():
                         "(results identical to serial; 0 = all CPUs)")
     c.add_argument("--out", metavar="PATH",
                    help="write the canonical metrics JSON to PATH")
-    c.add_argument("--telemetry", metavar="PATH",
-                   help="export a telemetry run profile (json/jsonl)")
+    _add_telemetry_args(c)
     c.add_argument("--checkpoint", metavar="PATH",
                    help="save per-program snapshots to PATH "
                         "(created if missing, resumed if present)")
@@ -370,9 +438,17 @@ def build_parser():
     e.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for independent runs "
                         "(results identical to serial; 0 = all CPUs)")
-    e.add_argument("--telemetry", metavar="PATH",
-                   help="export a telemetry run profile (json/jsonl)")
+    _add_telemetry_args(e)
     return parser
+
+
+def _check_out_dir(path, what):
+    out_dir = os.path.dirname(path)
+    if out_dir and not os.path.isdir(out_dir):
+        print(f"error: {what} directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv=None):
@@ -386,21 +462,37 @@ def main(argv=None):
         "experiment": _cmd_experiment,
     }[args.command]
     telemetry_out = getattr(args, "telemetry", None)
-    if not telemetry_out:
+    events_out = getattr(args, "events", None)
+    tick = getattr(args, "tick_clock", False) and args.command != "profile"
+    if not (telemetry_out or events_out or tick):
         return handler(args)
 
-    out_dir = os.path.dirname(telemetry_out)
-    if out_dir and not os.path.isdir(out_dir):
-        print(f"error: telemetry directory {out_dir!r} does not exist",
-              file=sys.stderr)
+    if telemetry_out and not _check_out_dir(telemetry_out, "telemetry"):
         return 2
-    registry = telemetry.Registry()
+    if events_out and not _check_out_dir(events_out, "events"):
+        return 2
+    registry = telemetry.Registry(clock=TickClock() if tick else None)
+    recorder = None
+    if events_out:
+        capacity = getattr(args, "events_capacity", None)
+        recorder = registry.attach_recorder(
+            FlightRecorder(capacity=capacity)
+            if capacity else FlightRecorder())
     with telemetry.use_registry(registry):
         rc = handler(args)
-    telemetry.write_profile(registry, telemetry_out,
-                            meta={"command": args.command,
-                                  "version": __version__})
-    print(f"telemetry profile written to {telemetry_out}")
+    meta = {"command": args.command, "version": __version__}
+    if tick:
+        meta["clock"] = "tick"
+    calibration = selfcost.PINNED_CALIBRATION if tick else None
+    if telemetry_out:
+        telemetry.write_profile(registry, telemetry_out, meta=meta,
+                                self_overhead=True, calibration=calibration)
+        print(f"telemetry profile written to {telemetry_out}")
+    if recorder is not None:
+        profile = profile_dict(registry, meta=meta, self_overhead=True,
+                               calibration=calibration)
+        recorder.flush(events_out, meta=profile["meta"])
+        print(f"flight recording written to {events_out}")
     return rc
 
 

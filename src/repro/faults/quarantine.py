@@ -38,7 +38,10 @@ class Quarantine:
                                   error_type=type(error).__name__,
                                   message=str(error), attempts=attempts)
         self.records.append(record)
-        telemetry.get_registry().inc("faults.quarantined")
+        tele = telemetry.get_registry()
+        tele.inc("faults.quarantined")
+        tele.event("quarantine", phase=phase, key=key,
+                   error_type=record.error_type, attempts=attempts)
         return record
 
     def keys(self, phase=None):

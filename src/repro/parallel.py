@@ -16,6 +16,18 @@ to the serial loop:
   serial counter/histogram totals (see
   :meth:`~repro.telemetry.registry.Registry.merge_snapshot`).
 
+Tracing v2 makes the stitching *structural*: the coordinator's open
+span context (trace id + span id) and its clock spec cross the process
+boundary with each task, the worker tracks its spans under a
+deterministic per-task scope (``b<batch>.w<key>.``), and the parent
+adopts the worker's span trees as children of the dispatching span --
+a ``--jobs N`` run yields one coherent trace tree whose ids depend
+only on the work, never on which OS process executed it. When the
+parent registry has a flight recorder attached, workers record their
+own bounded event streams and ship them home too. A task whose worker
+died for good (retries exhausted, quarantined) leaves a closed span
+flagged ``orphaned`` at its dispatch site instead of a dangling tree.
+
 This is also the pipeline's worker fault boundary:
 
 - the active :class:`~repro.faults.FaultPlan` propagates into pool
@@ -48,6 +60,8 @@ from concurrent.futures.process import BrokenProcessPool
 from repro import faults as _faults
 from repro import telemetry
 from repro.common.errors import ReproError, WorkerKilled
+from repro.telemetry.clock import clock_from_spec, clock_spec
+from repro.telemetry.events import FlightRecorder
 
 
 def resolve_jobs(jobs):
@@ -66,6 +80,25 @@ def _backoff(plan, attempt):
         time.sleep(plan.retry_backoff * 2 ** (attempt - 1))
 
 
+def _tele_spec(tele, phase):
+    """The picklable telemetry context one batch ships to its workers.
+
+    ``(clock spec, trace id, parent span id, batch scope, phase,
+    events capacity)`` -- everything a worker needs to rebuild a child
+    registry whose spans and events stitch deterministically under the
+    coordinator's dispatching span.
+    """
+    if not tele.enabled:
+        return None
+    open_span = tele.tracer.open_span()
+    parent_id = (open_span.span_id if open_span is not None
+                 else tele.tracer.remote_parent)
+    events_capacity = (tele.recorder.capacity
+                       if tele.recorder is not None else 0)
+    return (clock_spec(tele.clock), tele.tracer.trace_id, parent_id,
+            tele.tracer.next_batch_scope(), phase, events_capacity)
+
+
 def _invoke(payload):
     """Pool-worker trampoline: run one item, capturing child telemetry.
 
@@ -73,17 +106,40 @@ def _invoke(payload):
     globals do not cross the process boundary) and hosts the injected
     worker-kill site.
     """
-    fn, item, capture, plan, key, attempt = payload
+    fn, item, tspec, plan, key, attempt = payload
     with _faults.use_plan(plan):
         if plan.enabled and plan.fires("worker_kill", key, attempt):
             raise WorkerKilled(
                 f"injected worker death (task {key}, attempt {attempt})",
                 task_index=key, attempt=attempt)
-        if not capture:
+        if tspec is None:
             return fn(item), None
-        with telemetry.use_registry(telemetry.Registry()) as reg:
-            out = fn(item)
-        return out, reg.snapshot()
+        cspec, trace_id, parent_id, batch_scope, phase, events_cap = tspec
+        reg = telemetry.Registry(preregister_catalog=False,
+                                 clock=clock_from_spec(cspec))
+        reg.tracer.trace_id = trace_id
+        reg.tracer.remote_parent = parent_id
+        reg.tracer.scope = f"{batch_scope}w{key}."
+        recorder = None
+        if events_cap:
+            recorder = reg.attach_recorder(FlightRecorder(capacity=events_cap))
+        with telemetry.use_registry(reg):
+            with reg.span("parallel.task", phase=phase, key=key):
+                out = fn(item)
+        snap = reg.snapshot()
+        snap["ops"] = reg.op_counts()
+        if recorder is not None:
+            snap["events"] = recorder.events()
+        return out, snap
+
+
+def _orphaned(tele, phase, key, attempts):
+    """Flag a task lost for good: a closed ``orphaned`` span + an event."""
+    if not tele.enabled:
+        return
+    tele.tracer.orphan("parallel.task", phase=phase, key=key,
+                       attempts=attempts)
+    tele.event("task_orphaned", phase=phase, key=key, attempts=attempts)
 
 
 def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
@@ -99,7 +155,9 @@ def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
                         f"injected worker death (task {keys[index]}, "
                         f"attempt {attempt})",
                         task_index=keys[index], attempt=attempt)
-                results.append(fn(item))
+                with tele.span("parallel.task", phase=phase,
+                               key=keys[index]):
+                    results.append(fn(item))
                 break
             except WorkerKilled as e:
                 tele.inc("faults.worker_kills")
@@ -107,6 +165,7 @@ def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
                     if quarantine is not None:
                         quarantine.admit(phase, keys[index], e,
                                          attempts=attempt + 1)
+                        _orphaned(tele, phase, keys[index], attempt + 1)
                         results.append(None)
                         break
                     raise
@@ -117,6 +176,7 @@ def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
                 if quarantine is not None:
                     quarantine.admit(phase, keys[index], e,
                                      attempts=attempt + 1)
+                    _orphaned(tele, phase, keys[index], attempt + 1)
                     results.append(None)
                     break
                 raise
@@ -125,7 +185,7 @@ def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
 
 def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
     """Dispatch items across a process pool with bounded retries."""
-    capture = tele.enabled
+    tspec = _tele_spec(tele, phase)
     n = len(items)
     results = [None] * n
     snaps = [None] * n
@@ -141,7 +201,7 @@ def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
                 max_workers=min(n_workers, len(pending))) as ex:
             futures = {
                 index: ex.submit(
-                    _invoke, (fn, items[index], capture, plan, keys[index],
+                    _invoke, (fn, items[index], tspec, plan, keys[index],
                               attempt))
                 for index, attempt in sorted(pending.items())}
             for index, future in futures.items():
@@ -183,6 +243,7 @@ def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
                                 if isinstance(e, WorkerKilled) else 1)
                     quarantine.admit(phase, keys[index], e,
                                      attempts=attempts)
+                    _orphaned(tele, phase, keys[index], attempts)
                     results[index] = None
                 else:
                     hard[index] = e
@@ -232,6 +293,13 @@ def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
         tele.inc("parallel.batches")
         tele.inc("parallel.tasks", len(items))
         for snap in snaps:
-            if snap:
-                tele.merge_snapshot(snap)
+            if not snap:
+                continue
+            tele.merge_snapshot(snap)
+            if snap.get("spans"):
+                tele.tracer.attach(snap["spans"])
+            if snap.get("ops"):
+                tele.merge_ops(snap["ops"])
+            if tele.recorder is not None and snap.get("events"):
+                tele.recorder.extend(snap["events"])
     return results

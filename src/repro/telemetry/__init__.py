@@ -34,12 +34,27 @@ hot paths guard multi-metric blocks with ``if tele.enabled``.
 from contextlib import contextmanager
 
 from repro.telemetry.catalog import CATALOG, MetricSpec, format_catalog
+from repro.telemetry.clock import WALL, TickClock, clock_from_spec, clock_spec
+from repro.telemetry.events import (
+    FlightRecorder,
+    events_to_profile,
+    is_event_stream,
+    read_events,
+    read_events_profile,
+)
 from repro.telemetry.export import (
     format_profile,
     profile_dict,
     read_profile,
     write_profile,
 )
+from repro.telemetry.flame import (
+    critical_path,
+    folded_stacks,
+    format_critical_path,
+    format_flame,
+)
+from repro.telemetry.openmetrics import render_openmetrics
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -47,12 +62,17 @@ from repro.telemetry.registry import (
     NullRegistry,
     Registry,
 )
-from repro.telemetry.spans import Span, SpanTracer
+from repro.telemetry.spans import Span, SpanContext, SpanTracer
 
 __all__ = [
     "CATALOG", "MetricSpec", "format_catalog",
+    "WALL", "TickClock", "clock_from_spec", "clock_spec",
+    "FlightRecorder", "events_to_profile", "is_event_stream",
+    "read_events", "read_events_profile",
     "Counter", "Gauge", "Histogram", "NullRegistry", "Registry",
-    "Span", "SpanTracer",
+    "Span", "SpanContext", "SpanTracer",
+    "critical_path", "folded_stacks", "format_critical_path",
+    "format_flame", "render_openmetrics",
     "format_profile", "profile_dict", "read_profile", "write_profile",
     "enabled", "get_registry", "install", "set_registry", "use_registry",
 ]

@@ -1,0 +1,208 @@
+"""Flight recorder: a bounded event-level record of what a run did.
+
+Where the metric registry keeps *aggregates* and the span tree keeps
+*phases*, the flight recorder keeps the raw sequence: span open/close,
+counter deltas, fault and quarantine events, and periodic samples
+(events/sec, FIFO stalls) from the simulator and scheduler. It is the
+ARGUS-style always-on stream the adaptive layers consume -- and, like a
+real flight recorder, it is bounded: a ring buffer keeps the most
+recent ``capacity`` events and counts what it had to drop.
+
+Attach one to a recording registry
+(:meth:`~repro.telemetry.registry.Registry.attach_recorder`) or from
+the CLI with ``--events PATH`` on any command. The on-disk format is
+JSONL:
+
+- a header record ``{"type": "meta", "meta": {..., "format":
+  "flight-recorder-v1"}}``,
+- one record per event, oldest first -- every event carries ``t``
+  (seconds from the registry clock) and ``type``,
+- a footer record with ``n_recorded`` / ``n_dropped`` totals.
+
+Flushes are atomic (write to a temp file, then ``os.replace``), so a
+reader never observes a half-written stream. :func:`events_to_profile`
+reconstructs a run profile (span tree + counter totals) from a stream,
+which is how ``repro profile --load events.jsonl --flame`` renders a
+flame graph straight from a flight recording.
+"""
+
+import json
+import os
+from collections import deque
+
+from repro.telemetry.spans import STATUS_OK, STATUS_UNCLOSED
+
+FORMAT = "flight-recorder-v1"
+DEFAULT_CAPACITY = 65536
+SPAN_CAPACITY = 16384
+_SPAN_KINDS = ("span_open", "span_close")
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with atomic JSONL flush.
+
+    Span open/close events live in their own reservation
+    (``span_capacity``) so a flood of high-rate counter deltas or
+    simulator samples can never evict the trace skeleton the flame and
+    critical-path renderers need; everything else shares the main ring.
+    ``events()`` merges both back into recording order.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, span_capacity=SPAN_CAPACITY):
+        self.capacity = int(capacity)
+        self.span_capacity = int(span_capacity)
+        self._ring = deque(maxlen=self.capacity)
+        self._span_ring = deque(maxlen=self.span_capacity)
+        self._seq = 0
+        self.n_recorded = 0
+
+    @property
+    def n_dropped(self):
+        return self.n_recorded - len(self._ring) - len(self._span_ring)
+
+    def record(self, type_, t, **fields):
+        """Append one event (oldest events fall off the ring)."""
+        event = {"t": t, "type": type_}
+        event.update(fields)
+        self._append(event)
+
+    def _append(self, event):
+        self._seq += 1
+        ring = (self._span_ring if event["type"] in _SPAN_KINDS
+                else self._ring)
+        ring.append((self._seq, event))
+        self.n_recorded += 1
+
+    def extend(self, events):
+        """Adopt events shipped back from a pool worker, in order."""
+        for event in events:
+            self._append(event)
+
+    def events(self):
+        """The retained events in recording order (plain dicts)."""
+        merged = sorted(list(self._ring) + list(self._span_ring))
+        return [event for _seq, event in merged]
+
+    def flush(self, path, meta=None):
+        """Atomically write header + events + footer as JSONL."""
+        path = str(path)
+        header = {"format": FORMAT, "capacity": self.capacity}
+        header.update(meta or {})
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "meta", "meta": header},
+                                sort_keys=True, default=str) + "\n")
+            for event in self.events():
+                fh.write(json.dumps(event, sort_keys=True, default=str)
+                        + "\n")
+            fh.write(json.dumps({"type": "footer",
+                                 "n_recorded": self.n_recorded,
+                                 "n_dropped": self.n_dropped},
+                                sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+
+def is_event_stream(path):
+    """True when ``path`` holds a flight-recorder stream (vs a profile)."""
+    try:
+        with open(str(path), "r", encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        record = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return (record.get("type") == "meta"
+            and record.get("meta", {}).get("format") == FORMAT)
+
+
+def read_events(path):
+    """Read a flushed stream; returns ``(meta, events, footer)``."""
+    meta, events, footer = {}, [], {}
+    with open(str(path), "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                meta.update(record.get("meta", {}))
+            elif kind == "footer":
+                footer = record
+            else:
+                events.append(record)
+    return meta, events, footer
+
+
+def events_to_profile(meta, events):
+    """Rebuild a run-profile dict (spans + counters) from an event stream.
+
+    Span trees are reconstructed from ``span_open``/``span_close``
+    pairs via their ids; a span whose close event was dropped (or whose
+    worker died before closing) is kept with status ``unclosed``.
+    Counter totals are the sum of the ``counter`` deltas that survived
+    the ring. Gauges take the last ``gauge`` event per name.
+    """
+    spans = {}          # id -> span dict
+    order = []          # ids in open order
+    counters = {}
+    gauges = {}
+    last_t = 0.0
+    for event in events:
+        t = event.get("t", 0.0)
+        last_t = max(last_t, t)
+        kind = event["type"]
+        if kind == "span_open":
+            span = {"name": event["name"], "id": event["id"],
+                    "start_s": t, "duration_s": 0.0,
+                    "status": STATUS_UNCLOSED, "children": []}
+            if event.get("parent") is not None:
+                span["parent"] = event["parent"]
+            spans[event["id"]] = span
+            order.append(event["id"])
+        elif kind == "span_close":
+            span = spans.get(event["id"])
+            if span is None:
+                # The open event fell off the ring; synthesise a stub.
+                span = {"name": event["name"], "id": event["id"],
+                        "start_s": t - event.get("duration_s", 0.0),
+                        "duration_s": 0.0, "children": []}
+                spans[event["id"]] = span
+                order.append(event["id"])
+            span["duration_s"] = event.get("duration_s", 0.0)
+            status = event.get("status", STATUS_OK)
+            if status == STATUS_OK:
+                span.pop("status", None)
+            else:
+                span["status"] = status
+        elif kind == "counter":
+            name = event["name"]
+            counters[name] = counters.get(name, 0) + event.get("delta", 1)
+        elif kind == "gauge":
+            gauges[event["name"]] = event.get("value")
+    roots = []
+    for span_id in order:
+        span = spans[span_id]
+        if span.get("status") == STATUS_UNCLOSED:
+            # Closed-at-flush: the recorder saw the open but never the
+            # close; give it the observable extent of the stream.
+            span["duration_s"] = max(0.0, last_t - span["start_s"])
+        parent = spans.get(span.get("parent"))
+        if parent is not None:
+            parent["children"].append(span)
+        else:
+            roots.append(span)
+    for span in spans.values():
+        if not span["children"]:
+            span.pop("children", None)
+    return {"meta": dict(meta), "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())), "histograms": {},
+            "spans": roots}
+
+
+def read_events_profile(path):
+    """:func:`read_events` + :func:`events_to_profile` in one call."""
+    meta, events, _footer = read_events(path)
+    return events_to_profile(meta, events)

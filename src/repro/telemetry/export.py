@@ -19,17 +19,32 @@ import json
 from repro.common.texttable import render_table
 
 
-def profile_dict(registry, meta=None):
-    """Snapshot ``registry`` into a profile dict with ``meta`` attached."""
+def profile_dict(registry, meta=None, self_overhead=False, calibration=None):
+    """Snapshot ``registry`` into a profile dict with ``meta`` attached.
+
+    With ``self_overhead``, the profile's meta gains the
+    ``telemetry_self_overhead_pct`` figure (estimated telemetry cost
+    over root-span wall time, see :mod:`repro.telemetry.selfcost`);
+    pass a pinned ``calibration`` to keep it machine-independent in
+    deterministic runs.
+    """
     out = {"meta": dict(meta or {})}
+    if self_overhead:
+        from repro.telemetry import selfcost
+
+        pct = selfcost.overhead_pct(registry, calibration=calibration)
+        if pct is not None:
+            out["meta"]["telemetry_self_overhead_pct"] = round(pct, 4)
     out.update(registry.snapshot())
     return out
 
 
-def write_profile(registry, path, meta=None):
+def write_profile(registry, path, meta=None, self_overhead=False,
+                  calibration=None):
     """Write a registry snapshot to ``path`` (format from extension)."""
     path = str(path)
-    profile = profile_dict(registry, meta=meta)
+    profile = profile_dict(registry, meta=meta, self_overhead=self_overhead,
+                           calibration=calibration)
     if path.endswith(".jsonl"):
         with open(path, "w", encoding="utf-8") as fh:
             for record in _jsonl_records(profile):

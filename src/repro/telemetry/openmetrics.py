@@ -1,0 +1,72 @@
+"""OpenMetrics text exposition of a registry or run profile.
+
+Renders the metric half of a run profile (counters, gauges,
+histograms) in the OpenMetrics text format, so any Prometheus-family
+scraper or ``promtool`` can ingest what a run recorded::
+
+    # TYPE repro_act_invalid_predictions counter
+    repro_act_invalid_predictions_total 42
+    ...
+    # EOF
+
+Dotted metric names become underscore-separated with a ``repro_``
+prefix; exact-value histogram buckets are converted to the cumulative
+``le``-labelled form the format requires. Spans are not exposed --
+they belong to the trace surfaces (:mod:`.flame`), not the metric one.
+"""
+
+PREFIX = "repro_"
+
+
+def _metric_name(name):
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    sanitized = "".join(out)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return PREFIX + sanitized
+
+
+def _format_value(value):
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_openmetrics(profile):
+    """Render ``profile`` (a dict or a registry) as OpenMetrics text."""
+    if hasattr(profile, "snapshot"):
+        profile = profile.snapshot()
+    lines = []
+    for name, value in sorted((profile.get("counters") or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+    for name, value in sorted((profile.get("gauges") or {}).items()):
+        if value is None:
+            continue
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, stats in sorted((profile.get("histograms") or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = sorted(((float(k), v) for k, v in
+                          (stats.get("buckets") or {}).items()),
+                         key=lambda kv: kv[0])
+        for bound, count in buckets:
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} '
+                     f"{stats.get('count', 0)}")
+        lines.append(f"{metric}_count {stats.get('count', 0)}")
+        lines.append(f"{metric}_sum {_format_value(stats.get('sum', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines)

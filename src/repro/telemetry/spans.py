@@ -1,4 +1,4 @@
-"""Nested wall-time spans (the tracing half of the telemetry layer).
+"""Structured wall-time spans (tracing v2).
 
 A span is one timed phase of a run -- "diagnose.offline_train",
 "diagnose.failure_run" -- and spans nest: entering a span while another
@@ -6,6 +6,21 @@ is open records it as a child, so one diagnosis produces a tree whose
 root wall time decomposes into the phases the paper's workflow names
 (Figure 1: offline training, the failure run, deployment, pruning runs,
 post-processing).
+
+v2 makes spans *structured*: every span carries a stable
+``(trace_id, span_id, parent_id)`` triple and a status, timestamps come
+from the owning registry's injectable clock (:mod:`.clock`), and a
+:class:`SpanContext` can cross the ``ProcessPoolExecutor`` boundary so
+pool workers record spans that stitch back under the coordinator's
+dispatching span -- a parallel diagnosis yields one coherent trace
+tree, not per-worker snapshots.
+
+Identifiers are deterministic, never random: a tracer numbers its
+spans ``s1, s2, ...`` in creation order, and a worker-side tracer
+prefixes them with a scope derived from the task's *work key* (e.g.
+``w104.s1``) -- the same identity quarantine uses -- so IDs are
+reproducible across reruns regardless of which OS process executed the
+task.
 
 Spans deliberately measure *wall time only*. Everything countable
 (dependences, invalids, stalls) lives in the metric registry; the span
@@ -16,6 +31,24 @@ happened".
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Optional
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_ORPHANED = "orphaned"   # worker died while the span was open
+STATUS_UNCLOSED = "unclosed"   # open at flush time (flight recorder)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of an open span.
+
+    This is what crosses a process boundary: the worker parents its
+    root spans under ``span_id`` and stamps them with ``trace_id``.
+    """
+
+    trace_id: str
+    span_id: str
 
 
 @dataclass
@@ -24,12 +57,26 @@ class Span:
 
     name: str
     attrs: dict = field(default_factory=dict)
+    span_id: str = ""
+    parent_id: Optional[str] = None
+    trace_id: str = ""
     start: float = 0.0
     duration: float = 0.0
+    status: str = STATUS_OK
     children: list = field(default_factory=list)
 
+    def context(self):
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
     def to_dict(self):
-        out = {"name": self.name, "duration_s": self.duration}
+        out = {"name": self.name, "id": self.span_id,
+               "start_s": self.start, "duration_s": self.duration}
+        if self.parent_id is not None:
+            out["parent"] = self.parent_id
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.status != STATUS_OK:
+            out["status"] = self.status
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -39,7 +86,11 @@ class Span:
     @classmethod
     def from_dict(cls, d):
         return cls(name=d["name"], attrs=dict(d.get("attrs", {})),
+                   span_id=d.get("id", ""), parent_id=d.get("parent"),
+                   trace_id=d.get("trace_id", ""),
+                   start=float(d.get("start_s", 0.0)),
                    duration=float(d.get("duration_s", 0.0)),
+                   status=d.get("status", STATUS_OK),
                    children=[cls.from_dict(c)
                              for c in d.get("children", ())])
 
@@ -51,30 +102,144 @@ class Span:
 
 
 class SpanTracer:
-    """Collects a forest of spans via a context-manager API."""
+    """Collects a forest of spans via a context-manager API.
 
-    def __init__(self):
+    ``clock`` supplies timestamps (``time.perf_counter`` by default; a
+    :class:`~repro.telemetry.clock.TickClock` makes them deterministic).
+    ``recorder``, when attached, receives a ``span_open`` /
+    ``span_close`` event pair per span (the flight-recorder feed).
+    """
+
+    def __init__(self, clock=None, trace_id="t0", scope="",
+                 remote_parent=None):
+        self.clock = clock or time.perf_counter
+        self.trace_id = trace_id
+        self.scope = scope
+        self.remote_parent = remote_parent  # parent span_id across processes
+        self.recorder = None
         self.roots = []
         self._stack = []
+        self._seq = 0
+        self._batch_seq = 0
+        self.n_spans = 0
+
+    def next_batch_scope(self):
+        """A fresh ``bN.`` prefix for one fan-out batch's worker scopes.
+
+        Worker span ids are scoped ``b<batch>.w<key>.s<n>``: the batch
+        counter keeps ids unique when different batches reuse the same
+        work keys (collection seeds, thread ids, grid points), and the
+        counter advances in dispatch order, so ids are stable across
+        reruns.
+        """
+        self._batch_seq += 1
+        return f"b{self._batch_seq}."
+
+    def adopt_context(self, context, scope):
+        """Continue ``context``'s trace: roots parent under its span.
+
+        Used by pool workers; ``scope`` prefixes every span id minted
+        here (derived from the task key, so IDs are deterministic no
+        matter which process runs the task).
+        """
+        self.trace_id = context.trace_id
+        self.remote_parent = context.span_id
+        self.scope = scope
+
+    def _next_id(self):
+        self._seq += 1
+        return f"{self.scope}s{self._seq}"
 
     @contextmanager
     def span(self, name, **attrs):
-        span = Span(name=name, attrs=attrs)
-        if self._stack:
-            self._stack[-1].children.append(span)
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name=name, attrs=attrs, span_id=self._next_id(),
+                    parent_id=(parent.span_id if parent is not None
+                               else self.remote_parent),
+                    trace_id=self.trace_id)
+        if parent is not None:
+            parent.children.append(span)
         else:
             self.roots.append(span)
         self._stack.append(span)
-        span.start = time.perf_counter()
+        self.n_spans += 1
+        span.start = self.clock()
+        if self.recorder is not None:
+            self.recorder.record("span_open", span.start, name=name,
+                                 id=span.span_id, parent=span.parent_id)
         try:
             yield span
+        except BaseException:
+            span.status = STATUS_ERROR
+            raise
         finally:
-            span.duration = time.perf_counter() - span.start
+            end = self.clock()
+            span.duration = end - span.start
             self._stack.pop()
+            if self.recorder is not None:
+                self.recorder.record("span_close", end, name=name,
+                                     id=span.span_id,
+                                     duration_s=span.duration,
+                                     status=span.status)
+
+    def open_span(self):
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def orphan(self, name, **attrs):
+        """Record an already-dead span: a task whose worker never came back.
+
+        The span is born closed with status ``orphaned`` and zero
+        duration, parented under the innermost open span, so a trace
+        tree never dangles when a worker is killed mid-task -- the lost
+        work is flagged exactly where it was dispatched.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name=name, attrs=attrs, span_id=self._next_id(),
+                    parent_id=(parent.span_id if parent is not None
+                               else self.remote_parent),
+                    trace_id=self.trace_id, start=self.clock(),
+                    duration=0.0, status=STATUS_ORPHANED)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self.n_spans += 1
+        if self.recorder is not None:
+            self.recorder.record("span_open", span.start, name=name,
+                                 id=span.span_id, parent=span.parent_id)
+            self.recorder.record("span_close", span.start, name=name,
+                                 id=span.span_id, duration_s=0.0,
+                                 status=STATUS_ORPHANED)
+        return span
+
+    def attach(self, span_dicts):
+        """Stitch foreign span trees (worker snapshots) into this trace.
+
+        Each dict (a :meth:`Span.to_dict`) becomes a child of the
+        innermost open span, or a new root when no span is open -- the
+        coordinator calls this inside its dispatching span, so worker
+        spans land exactly where the work was fanned out.
+        """
+        adopted = []
+        parent = self.open_span()
+        for d in span_dicts:
+            span = Span.from_dict(d)
+            if parent is not None:
+                span.parent_id = parent.span_id
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+            self.n_spans += sum(1 for _ in span.walk())
+            adopted.append(span)
+        return adopted
 
     def reset(self):
         self.roots = []
         self._stack = []
+        self._seq = 0
+        self._batch_seq = 0
+        self.n_spans = 0
 
 
 class _NullSpanContext:

@@ -23,7 +23,6 @@ value semantics are exactly sequential consistency in trace order.
 """
 
 import enum
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -306,7 +305,9 @@ class Scheduler:
         send_values: Dict[int, object] = {tid: None for tid in alive}
 
         tele = telemetry.get_registry()
-        started = time.perf_counter() if tele.enabled else 0.0
+        # The registry clock (not perf_counter directly) keeps the
+        # events/sec gauge deterministic under an injected TickClock.
+        started = tele.clock() if tele.enabled else 0.0
         quanta = 0
 
         current = 0 if alive else None
@@ -357,7 +358,7 @@ class Scheduler:
                 memory[item.addr] = getattr(item, "_value", None)
 
         if tele.enabled:
-            elapsed = time.perf_counter() - started
+            elapsed = tele.clock() - started
             tele.inc("sched.runs")
             tele.inc("sched.steps", steps)
             tele.inc("sched.quanta", quanta)

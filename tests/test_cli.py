@@ -169,6 +169,124 @@ class TestTelemetryCLI:
         assert "act.deps_processed" in rendered
 
 
+class TestTracingCLI:
+    ARGS = ["--train-runs", "4", "--pruning-runs", "6"]
+
+    def test_events_writes_flight_recording(self, tmp_path, capsys):
+        from repro.telemetry import is_event_stream, read_events
+
+        out = tmp_path / "flight.jsonl"
+        rc = main(["diagnose", "gzip", *self.ARGS, "--jobs", "2",
+                   "--events", str(out)])
+        assert rc == 0
+        assert f"flight recording written to {out}" in capsys.readouterr().out
+        assert is_event_stream(out)
+        meta, events, footer = read_events(out)
+        assert meta["command"] == "diagnose"
+        kinds = {e["type"] for e in events}
+        assert "span_open" in kinds and "counter" in kinds
+        assert footer["n_recorded"] >= len(events)
+
+    def test_tick_clock_runs_are_byte_identical(self, tmp_path, capsys):
+        paths = []
+        for tag in ("a", "b"):
+            ev = tmp_path / f"{tag}.jsonl"
+            prof = tmp_path / f"{tag}.json"
+            assert main(["diagnose", "gzip", *self.ARGS, "--jobs", "2",
+                         "--events", str(ev), "--telemetry", str(prof),
+                         "--tick-clock"]) == 0
+            paths.append((ev, prof))
+        (ev_a, prof_a), (ev_b, prof_b) = paths
+        assert ev_a.read_bytes() == ev_b.read_bytes()
+        assert prof_a.read_bytes() == prof_b.read_bytes()
+
+    def test_jobs_run_yields_one_stitched_tree(self, tmp_path, capsys):
+        from repro.telemetry import read_events_profile
+
+        out = tmp_path / "flight.jsonl"
+        assert main(["diagnose", "gzip", *self.ARGS, "--jobs", "2",
+                     "--events", str(out), "--tick-clock"]) == 0
+        profile = read_events_profile(out)
+        (root,) = profile["spans"]
+        assert root["name"] == "diagnose"
+        tasks = []
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            stack.extend(span.get("children", []))
+            if span["name"] == "parallel.task":
+                tasks.append(span)
+        assert len(tasks) > 1  # worker spans stitched under the root
+
+    def test_profile_load_renders_flight_recording(self, tmp_path, capsys):
+        out = tmp_path / "flight.jsonl"
+        assert main(["diagnose", "gzip", *self.ARGS,
+                     "--events", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "diagnose.offline_train" in rendered
+
+    def test_profile_flame_view(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["diagnose", "gzip", *self.ARGS,
+                     "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(out), "--flame"]) == 0
+        flame = capsys.readouterr().out
+        assert "diagnose;diagnose.offline_train" in flame
+        for line in flame.strip().splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) >= 0
+
+    def test_profile_critical_path_view(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["diagnose", "gzip", *self.ARGS,
+                     "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(out),
+                     "--critical-path"]) == 0
+        rendered = capsys.readouterr().out
+        assert "critical path (" in rendered
+        assert "diagnose" in rendered and "% of root" in rendered
+
+    def test_profile_openmetrics_view(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["diagnose", "gzip", *self.ARGS,
+                     "--telemetry", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--load", str(out),
+                     "--openmetrics"]) == 0
+        rendered = capsys.readouterr().out
+        assert "# TYPE repro_act_deps_processed counter" in rendered
+        assert rendered.rstrip().endswith("# EOF")
+
+    def test_self_overhead_in_profile_meta(self, tmp_path, capsys):
+        out = tmp_path / "p.json"
+        assert main(["diagnose", "gzip", *self.ARGS, "--telemetry",
+                     str(out), "--tick-clock"]) == 0
+        profile = read_profile(out)
+        assert profile["meta"]["clock"] == "tick"
+        pct = profile["meta"]["telemetry_self_overhead_pct"]
+        assert pct > 0
+
+    def test_events_capacity_bounds_the_stream(self, tmp_path, capsys):
+        from repro.telemetry import read_events
+
+        out = tmp_path / "flight.jsonl"
+        assert main(["diagnose", "gzip", *self.ARGS, "--events", str(out),
+                     "--events-capacity", "32"]) == 0
+        _meta, events, footer = read_events(out)
+        assert footer["n_dropped"] > 0
+        assert footer["n_recorded"] == len(events) + footer["n_dropped"]
+
+    def test_events_missing_out_dir(self, tmp_path, capsys):
+        rc = main(["diagnose", "gzip", "--events",
+                   str(tmp_path / "no" / "flight.jsonl")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
 class TestFaultsCLI:
     ARGS = ["--train-runs", "4", "--pruning-runs", "6"]
 

@@ -139,6 +139,52 @@ class TestQuarantineSubsetEquivalence:
         assert report.quarantine["n_quarantined"] == 2
 
 
+class TestKilledWorkerSpanStitching:
+    """A worker killed mid-diagnosis still yields one coherent trace."""
+
+    def _span_index(self, spans):
+        index = {}
+        stack = list(spans)
+        while stack:
+            span = stack.pop()
+            index[span["id"]] = span
+            stack.extend(span.get("children", []))
+        return index
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_diagnosis_tree_flags_the_lost_run(self, jobs):
+        program = get_bug("gzip")
+        # Kill pruning seed 102 on every attempt; quarantine absorbs it.
+        plan = FaultPlan(seed=0, kill_tasks=((102, 0), (102, 1), (102, 2)),
+                         max_retries=2)
+        quarantine = Quarantine()
+        reg = telemetry.Registry(clock=telemetry.TickClock())
+        with telemetry.use_registry(reg):
+            report = diagnose_failure(program, faults=plan,
+                                      quarantine=quarantine, jobs=jobs,
+                                      **_RUNS)
+        assert isinstance(report, DiagnosisReport)
+        assert quarantine.keys() == [102]
+        snap = reg.snapshot()
+        index = self._span_index(snap["spans"])
+        orphans = [s for s in index.values()
+                   if s.get("status") == "orphaned"]
+        assert len(orphans) == 1
+        assert orphans[0]["name"] == "parallel.task"
+        assert orphans[0]["attrs"]["key"] == 102
+        # No dangling parents: every non-root span's parent exists.
+        for span in index.values():
+            parent = span.get("parent")
+            assert parent is None or parent in index
+        # The orphan sits under the pruning-runs dispatch chain.
+        chain = []
+        node = index[orphans[0]["parent"]]
+        while node is not None:
+            chain.append(node["name"])
+            node = index.get(node.get("parent"))
+        assert "diagnose.pruning_runs" in chain
+
+
 class TestCrashResume:
     KWARGS = dict(n_train_runs=3, n_pruning_runs=4)
 

@@ -163,6 +163,87 @@ class TestWorkerDeathRecovery:
         assert 0.01 <= time.time() - t0 < 1.0
 
 
+def _tree_is_coherent(span, parent_id=None):
+    """Every span's parent pointer matches its position in the tree."""
+    if parent_id is not None and span.get("parent") != parent_id:
+        return False
+    return all(_tree_is_coherent(c, span["id"])
+               for c in span.get("children", []))
+
+
+class TestSpanStitching:
+    """Tracing v2: worker spans land under the coordinator's span."""
+
+    def _dispatch(self, jobs, plan=None, quarantine=None):
+        reg = telemetry.Registry(clock=telemetry.TickClock())
+        reg.attach_recorder(telemetry.FlightRecorder())
+        with use_plan(plan or FaultPlan()):
+            with telemetry.use_registry(reg):
+                with reg.span("dispatch"):
+                    results = run_tasks(_double, [0, 1, 2], jobs=jobs,
+                                        quarantine=quarantine, phase="test")
+        return reg, results
+
+    def test_worker_spans_parent_under_dispatch(self):
+        reg, results = self._dispatch(jobs=2)
+        assert results == [0, 2, 4]
+        (root,) = reg.snapshot()["spans"]
+        tasks = [c for c in root["children"]
+                 if c["name"] == "parallel.task"]
+        assert sorted(t["id"] for t in tasks) == [
+            "b1.w0.s1", "b1.w1.s1", "b1.w2.s1"]
+        assert all(t["parent"] == root["id"] for t in tasks)
+        assert _tree_is_coherent(root)
+
+    def test_trace_tree_identical_across_reruns(self):
+        first, _ = self._dispatch(jobs=2)
+        second, _ = self._dispatch(jobs=2)
+        assert first.snapshot()["spans"] == second.snapshot()["spans"]
+        assert first.recorder.events() == second.recorder.events()
+
+    def test_serial_records_the_same_task_spans(self):
+        reg, _ = self._dispatch(jobs=None)
+        (root,) = reg.snapshot()["spans"]
+        names = [c["name"] for c in root["children"]]
+        assert names == ["parallel.task"] * 3
+
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_killed_worker_leaves_orphaned_span(self, jobs):
+        # Task key 1 dies on every attempt; the tree must still be
+        # coherent, with the lost task flagged at its dispatch site.
+        plan = FaultPlan(seed=0, kill_tasks=((1, 0), (1, 1), (1, 2)),
+                         max_retries=2)
+        quarantine = Quarantine()
+        reg, results = self._dispatch(jobs=jobs, plan=plan,
+                                      quarantine=quarantine)
+        assert results == [0, None, 4]
+        (root,) = reg.snapshot()["spans"]
+        assert _tree_is_coherent(root)
+        tasks = [c for c in root["children"]
+                 if c["name"] == "parallel.task"]
+        orphans = [t for t in tasks if t.get("status") == "orphaned"]
+        assert len(orphans) == 1
+        assert orphans[0]["attrs"]["key"] == 1
+        assert orphans[0]["duration_s"] == 0.0
+        survivors = [t for t in tasks if t.get("status") != "orphaned"]
+        assert len(survivors) == 2
+        events = reg.recorder.events()
+        assert [e for e in events if e["type"] == "task_orphaned"
+                and e["key"] == 1]
+        assert [e for e in events if e["type"] == "quarantine"]
+
+    def test_batches_get_distinct_scopes(self):
+        reg = telemetry.Registry(clock=telemetry.TickClock())
+        with telemetry.use_registry(reg):
+            with reg.span("dispatch"):
+                run_tasks(_double, [0, 1], jobs=2)
+                run_tasks(_double, [0, 1], jobs=2)
+        (root,) = reg.snapshot()["spans"]
+        ids = sorted(c["id"] for c in root["children"]
+                     if c["name"] == "parallel.task")
+        assert ids == ["b1.w0.s1", "b1.w1.s1", "b2.w0.s1", "b2.w1.s1"]
+
+
 class TestSimulatedFailurePickle:
     def test_roundtrip_keeps_context(self):
         err = SimulatedFailure("boom", tid=3, pc=0x40)
