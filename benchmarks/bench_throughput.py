@@ -1,7 +1,6 @@
-"""Replay and orchestration throughput: fast path vs scalar, serial vs
-parallel.
+"""Replay, orchestration, trace-I/O and corpus throughput.
 
-Two measurements, both recorded into ``benchmarks/results/`` and into
+Four measurements, all recorded into ``benchmarks/results/`` and into
 ``BENCH_throughput.json`` at the repo root:
 
 1. **Batched replay** -- deps/sec of :func:`deploy_on_run` over a long
@@ -10,25 +9,39 @@ Two measurements, both recorded into ``benchmarks/results/`` and into
    bit-identical, so anything short of a real speedup is a regression:
    the assertion fails if batched replay is not faster than scalar.
 2. **Parallel orchestration** -- wall time of correct-run collection,
-   serial vs a worker pool (``jobs``), with identical outputs. Pool
-   startup (process spawn + import) is measured separately so the
-   recorded speedup comes in two flavours: *cold* includes the spawn
-   cost a one-shot CLI run pays, *warm* subtracts it and reflects the
-   steady-state orchestration speedup. The trend history tracks the
-   warm number -- spawn cost is a property of the host, not of this
-   code.
+   serial vs the process-wide warm pool (``jobs``), with identical
+   outputs. The *cold* figure times the first parallel batch on a fresh
+   pool (what a one-shot CLI run pays); the *warm* figure interleaves
+   serial and pool rounds with the shared pool already live, so neither
+   side carries startup cost -- that steady-state ratio is the recorded
+   ``speedup`` and what the trend history gates. ``host_cpus`` is
+   recorded alongside: on a single-CPU host the warm speedup honestly
+   tops out below 1x (there is no second core to win on); the gate's
+   widened threshold absorbs host-to-host variance.
+3. **Trace I/O** -- write+read wall time of the long replay trace in
+   the JSON-lines format vs the columnar binary format
+   (:mod:`repro.trace.columnar`). Both decode to identical events;
+   columnar reads must be faster (that is the format's whole point, on
+   any host).
+4. **End-to-end corpus** -- wall seconds of the preset-scaled accuracy
+   corpus (``repro corpus``), the number a user actually waits on. Also
+   exported flat as ``corpus_wall_seconds`` for the trend gate.
 """
 
 import json
 import os
 import pathlib
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
+from repro.analysis.accuracy import run_corpus_for_preset
 from repro.core.config import ACTConfig
 from repro.core.deploy import deploy_on_run
 from repro.core.offline import OfflineTrainer, collect_correct_runs
+from repro.parallel import get_pool
+from repro.trace import read_trace, write_trace
 from repro.workloads.framework import run_program
 from repro.workloads.registry import get_kernel
 
@@ -50,9 +63,10 @@ def _noop(_):
 def measure_pool_startup(jobs, rounds=2):
     """Seconds to spawn ``jobs`` workers and round-trip one no-op each.
 
-    This is the fixed cost every ``run_tasks`` pool batch pays before
-    any real work runs (fork/spawn + interpreter + imports); best of
-    ``rounds`` fresh pools.
+    The fixed cost the first pool batch in a process pays before any
+    real work runs (fork/spawn + interpreter + imports); best of
+    ``rounds`` fresh pools, measured on throwaway executors so the
+    shared warm pool is not disturbed.
     """
     best = None
     for _ in range(rounds):
@@ -115,22 +129,54 @@ def test_throughput(preset, save_result):
     # --- parallel run collection vs serial ---------------------------
     n_runs = N_PARALLEL_RUNS[preset.name]
     # At least 2 workers so the pool path is exercised even on one CPU
-    # (where the recorded "speedup" will honestly come out ~1x or less).
+    # (where the recorded speedup will honestly come out ~1x or less).
     jobs = preset.jobs or max(2, min(4, os.cpu_count() or 1))
-    (t_serial, t_jobs), (runs_serial, runs_jobs) = _best_of_each(
+    pool = get_pool()
+    # Cold: the first parallel batch in a fresh process -- pool spawn,
+    # imports, then the work.
+    pool.shutdown()
+    t0 = time.perf_counter()
+    runs_cold = collect_correct_runs(prog, n_runs, seed0=0, jobs=jobs)
+    t_cold = time.perf_counter() - t0
+    # Warm: the shared pool is live; serial and pool rounds interleave
+    # so *neither* side carries startup cost and the ratio is pure
+    # steady-state orchestration.
+    pool.warm(jobs)
+    (t_serial, t_warm), (runs_serial, runs_jobs) = _best_of_each(
         [lambda: collect_correct_runs(prog, n_runs, seed0=0),
          lambda: collect_correct_runs(prog, n_runs, seed0=0, jobs=jobs)],
-        rounds=2)
+        rounds=3)
     assert [r.seed for r in runs_jobs] == [r.seed for r in runs_serial]
     assert all(a.events == b.events
                for a, b in zip(runs_serial, runs_jobs))
-    # Pool startup measured on its own: t_jobs above paid it once (each
-    # run_tasks batch spawns a fresh pool), the warm figure removes it.
+    assert all(a.events == b.events
+               for a, b in zip(runs_serial, runs_cold))
     t_startup = measure_pool_startup(jobs)
-    t_warm = max(t_jobs - t_startup, 1e-9)
+
+    # --- trace I/O: JSON-lines vs columnar ---------------------------
+    tmpdir = tempfile.mkdtemp(prefix="bench_trace_")
+    jsonl_path = os.path.join(tmpdir, "lu.jsonl")
+    col_path = os.path.join(tmpdir, "lu.columnar")
+    (t_write_jsonl, t_write_col), _ = _best_of_each(
+        [lambda: write_trace(long_run, jsonl_path),
+         lambda: write_trace(long_run, col_path, trace_format="columnar")],
+        rounds=3)
+    (t_read_jsonl, t_read_col), (decoded_jsonl, decoded_col) = _best_of_each(
+        [lambda: read_trace(jsonl_path),
+         lambda: read_trace(col_path)],
+        rounds=3)
+    assert decoded_jsonl.events == decoded_col.events
+    read_speedup = t_read_jsonl / t_read_col
+    write_speedup = t_write_jsonl / t_write_col
+
+    # --- end-to-end corpus wall time ---------------------------------
+    t0 = time.perf_counter()
+    corpus_result = run_corpus_for_preset(preset)
+    corpus_wall = time.perf_counter() - t0
 
     payload = {
         "preset": preset.name,
+        "host_cpus": os.cpu_count(),
         "replay": {
             "program": "lu",
             "n_deps": d_scalar.n_deps,
@@ -146,13 +192,30 @@ def test_throughput(preset, save_result):
             "n_runs": n_runs,
             "jobs": jobs,
             "serial_seconds": round(t_serial, 6),
-            "parallel_seconds": round(t_jobs, 6),
-            "pool_startup_seconds": round(t_startup, 6),
+            "parallel_cold_seconds": round(t_cold, 6),
             "parallel_warm_seconds": round(t_warm, 6),
-            "speedup": round(t_serial / t_jobs, 2),
-            "speedup_cold": round(t_serial / t_jobs, 2),
+            "pool_startup_seconds": round(t_startup, 6),
+            "speedup": round(t_serial / t_warm, 2),
+            "speedup_cold": round(t_serial / t_cold, 2),
             "speedup_warm": round(t_serial / t_warm, 2),
         },
+        "trace_io": {
+            "program": "lu",
+            "n_events": len(long_run.events),
+            "jsonl_write_seconds": round(t_write_jsonl, 6),
+            "columnar_write_seconds": round(t_write_col, 6),
+            "jsonl_read_seconds": round(t_read_jsonl, 6),
+            "columnar_read_seconds": round(t_read_col, 6),
+            "write_speedup": round(write_speedup, 2),
+            "read_speedup": round(read_speedup, 2),
+        },
+        "corpus": {
+            "size": corpus_result.spec.size,
+            "jobs": preset.jobs,
+            "found": corpus_result.metrics["overall"]["n_found"],
+            "wall_seconds": round(corpus_wall, 3),
+        },
+        "corpus_wall_seconds": round(corpus_wall, 3),
     }
     (REPO_ROOT / "BENCH_throughput.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -164,13 +227,26 @@ def test_throughput(preset, save_result):
         f"  batched fast path   : {fast_dps:,.0f} deps/sec",
         f"  speedup             : {replay_speedup:.1f}x",
         "",
-        f"Run collection ({n_runs} correct runs, jobs={jobs})",
+        f"Run collection ({n_runs} correct runs, jobs={jobs}, "
+        f"host_cpus={os.cpu_count()})",
         f"  serial              : {t_serial:.3f} s",
-        f"  parallel (cold)     : {t_jobs:.3f} s",
+        f"  warm pool           : {t_warm:.3f} s",
+        f"  cold pool           : {t_cold:.3f} s",
         f"  pool startup        : {t_startup:.3f} s",
-        f"  parallel (warm)     : {t_warm:.3f} s",
-        f"  speedup cold/warm   : {t_serial / t_jobs:.2f}x / "
-        f"{t_serial / t_warm:.2f}x",
+        f"  speedup warm/cold   : {t_serial / t_warm:.2f}x / "
+        f"{t_serial / t_cold:.2f}x",
+        "",
+        f"Trace I/O ({len(long_run.events)} events, program lu)",
+        f"  jsonl write/read    : {t_write_jsonl:.4f} s / "
+        f"{t_read_jsonl:.4f} s",
+        f"  columnar write/read : {t_write_col:.4f} s / "
+        f"{t_read_col:.4f} s",
+        f"  speedup write/read  : {write_speedup:.1f}x / "
+        f"{read_speedup:.1f}x",
+        "",
+        f"Corpus end-to-end (size {corpus_result.spec.size}, "
+        f"jobs={preset.jobs})",
+        f"  wall time           : {corpus_wall:.1f} s",
     ]
     save_result("throughput", "\n".join(lines))
 
@@ -179,3 +255,8 @@ def test_throughput(preset, save_result):
     assert fast_dps > scalar_dps, (
         f"batched replay slower than scalar: {fast_dps:.0f} vs "
         f"{scalar_dps:.0f} deps/sec")
+    # Columnar reads skip parsing entirely; slower-than-jsonl reads
+    # would mean the format lost its reason to exist.
+    assert read_speedup > 1.0, (
+        f"columnar read slower than jsonl: {t_read_col:.4f}s vs "
+        f"{t_read_jsonl:.4f}s")

@@ -6,11 +6,14 @@ one JSONL entry to ``BENCH_history.jsonl`` and compares the *gated*
 metrics against the last recorded entry, failing (exit 1) when any of
 them regresses beyond the threshold (30% by default).
 
-Gated metrics are machine-portable ratios (the replay speedup), not
-absolute deps/sec: a CI runner two times slower than the last machine
-should not trip the gate, a fast path that lost its speedup should.
-Absolute throughput and the pool-orchestration speedups are still
-recorded in every entry so the trajectory can be plotted.
+Gated metrics are machine-portable ratios (the replay and warm-pool
+speedups) plus the end-to-end corpus wall time, each with its own
+direction and threshold: a CI runner two times slower than the last
+machine should not trip the ratio gates, a fast path that lost its
+speedup should, and a corpus run that doubled in wall time (the widened
+``corpus_wall_seconds`` gate) signals a real pipeline regression, not
+scheduler noise. Absolute throughput and the cold/warm speedup split
+are still recorded in every entry so the trajectory can be plotted.
 
 Usage (what the ``bench-trend`` CI job runs)::
 
@@ -25,21 +28,28 @@ import time
 
 DEFAULT_THRESHOLD = 0.30
 
-# metric path -> direction; gated metrics fail the run on regression,
-# tracked metrics are recorded for the trajectory only. The replay
-# speedup is the one ratio stable enough to gate: it divides two
-# multi-hundred-millisecond measurements of the same deterministic
-# compute. The pool speedups are tracked but not gated -- they sit in
-# the single-millisecond regime on the fast preset, where scheduler
-# noise alone exceeds any sensible threshold.
+# Gated metrics fail the run on regression; tracked metrics are
+# recorded for the trajectory only. Each gate declares a direction
+# ("higher" is better, or "lower" -- wall-clock style) and may widen
+# the threshold beyond the run default: the replay speedup divides two
+# multi-hundred-millisecond measurements of deterministic compute and
+# gates tightly, while the warm-pool speedup and the corpus wall time
+# depend on the host's core count and scheduler, so they only gate
+# against collapses, not noise. A gated metric absent from either entry
+# is skipped with a logged reason (new metrics must not fail the first
+# run that records them, and old histories must not fail new gates).
 GATED_METRICS = {
-    "replay.speedup": "higher",
+    "replay.speedup": {"direction": "higher"},
+    "parallel.speedup": {"direction": "higher", "threshold": 0.50},
+    "corpus_wall_seconds": {"direction": "lower", "threshold": 0.50},
 }
 TRACKED_METRICS = {
     "replay.batched_deps_per_sec": "higher",
     "replay.scalar_deps_per_sec": "higher",
     "parallel.speedup_warm": "higher",
     "parallel.speedup_cold": "higher",
+    "trace_io.read_speedup": "higher",
+    "trace_io.write_speedup": "higher",
 }
 
 
@@ -91,26 +101,46 @@ def append_entry(history_path, entry):
     return entry
 
 
-def check_regressions(previous, current, threshold=DEFAULT_THRESHOLD):
+def check_regressions(previous, current, threshold=DEFAULT_THRESHOLD,
+                      skips=None):
     """Gated metrics of ``current`` vs ``previous``; returns regressions.
 
     Each regression is a dict with the metric, both values and the
-    fractional drop. A gated metric missing from either entry is
-    skipped (new metrics must not fail the first run that records
-    them).
+    fractional drop (always oriented so that positive = worse,
+    whichever direction the gate declares). A gated metric missing from
+    either entry, or with a non-positive baseline, is skipped instead
+    of erroring; pass a list as ``skips`` to collect
+    ``{"metric", "reason"}`` records explaining each skip.
     """
     regressions = []
     prev_metrics = previous.get("metrics", {})
     cur_metrics = current.get("metrics", {})
     for path in sorted(GATED_METRICS):
+        gate = GATED_METRICS[path]
+        limit = gate.get("threshold", threshold)
         old = prev_metrics.get(path)
         new = cur_metrics.get(path)
-        if old is None or new is None or old <= 0:
+        if old is None or new is None:
+            if skips is not None:
+                missing = ("both entries" if old is None and new is None
+                           else "previous entry" if old is None
+                           else "current entry")
+                skips.append({"metric": path,
+                              "reason": f"absent from {missing}"})
             continue
-        drop = (old - new) / old
-        if drop > threshold:
+        if old <= 0:
+            if skips is not None:
+                skips.append({"metric": path,
+                              "reason": f"non-positive baseline ({old})"})
+            continue
+        if gate["direction"] == "lower":
+            drop = (new - old) / old
+        else:
+            drop = (old - new) / old
+        if drop > limit:
             regressions.append({"metric": path, "previous": old,
-                                "current": new, "drop": round(drop, 4)})
+                                "current": new, "drop": round(drop, 4),
+                                "threshold": limit})
     return regressions
 
 
@@ -129,15 +159,21 @@ def run_trend(bench_path, history_path, threshold=DEFAULT_THRESHOLD,
     if not history:
         print("no previous entry; nothing to gate against", file=out)
         return 0
-    regressions = check_regressions(history[-1], entry, threshold=threshold)
+    skips = []
+    regressions = check_regressions(history[-1], entry, threshold=threshold,
+                                    skips=skips)
+    for skip in skips:
+        print(f"gate skipped: {skip['metric']} ({skip['reason']})",
+              file=out)
     if not regressions:
-        print(f"trend OK: no gated metric regressed more than "
-              f"{threshold:.0%} vs the previous entry", file=out)
+        print(f"trend OK: no gated metric regressed beyond its "
+              f"threshold (default {threshold:.0%}) vs the previous "
+              f"entry", file=out)
         return 0
     for reg in regressions:
-        print(f"REGRESSION: {reg['metric']} fell {reg['drop']:.1%} "
+        print(f"REGRESSION: {reg['metric']} worsened {reg['drop']:.1%} "
               f"({reg['previous']} -> {reg['current']}), "
-              f"threshold {threshold:.0%}", file=out)
+              f"threshold {reg['threshold']:.0%}", file=out)
     return 1
 
 

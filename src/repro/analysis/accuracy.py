@@ -349,6 +349,31 @@ def format_corpus(result):
     return "\n".join(lines)
 
 
+def write_corpus_traces(spec, trace_dir, trace_format="columnar"):
+    """Record each corpus program's failure run as a trace file.
+
+    One file per program under ``trace_dir``, named
+    ``<program>.columnar``/``<program>.jsonl``, written via
+    :func:`repro.trace.write_trace` in the requested format. Returns
+    the list of paths written (corpus order).
+    """
+    import os
+
+    from repro.trace import write_trace
+    from repro.workloads.framework import run_program
+
+    paths = []
+    for ps in corpus_programs(spec):
+        # Same execution the diagnosis treats as the failure run:
+        # buggy build under the spec's failure seed.
+        run = run_program(GeneratedProgram(ps), seed=spec.failure_seed,
+                          buggy=True)
+        path = os.path.join(trace_dir, f"{ps.name}.{trace_format}")
+        write_trace(run, path, trace_format=trace_format)
+        paths.append(path)
+    return paths
+
+
 def run_corpus_for_preset(preset):
     """Experiment-registry entry point: corpus at preset scale."""
     spec = CorpusSpec(seed=preset.corpus_seed, size=preset.corpus_size,

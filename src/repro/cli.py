@@ -215,7 +215,60 @@ def _cmd_profile(args):
     return 0
 
 
+def _trace_convert(args):
+    """``repro trace convert IN OUT``: re-encode a trace file.
+
+    The output format is the *other* one by default (columnar input ->
+    JSON-lines output and vice versa); ``--trace-format`` forces it.
+    ``--verify`` reads both files back and diffs the decoded events.
+    """
+    from repro.trace import columnar, read_trace
+
+    if len(args.paths) != 2:
+        print("error: trace convert needs exactly IN and OUT paths",
+              file=sys.stderr)
+        return 2
+    src, dst = args.paths
+    if not os.path.isfile(src):
+        print(f"error: trace {src!r} does not exist", file=sys.stderr)
+        return 2
+    out_dir = os.path.dirname(dst)
+    if out_dir and not os.path.isdir(out_dir):
+        print(f"error: output directory {out_dir!r} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        run = read_trace(src)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    fmt = args.trace_format
+    if fmt is None:
+        fmt = "jsonl" if columnar.is_columnar(src) else "columnar"
+    write_trace(run, dst, trace_format=fmt)
+    print(f"converted {src} -> {dst} ({fmt}, {len(run.events)} events)")
+    if args.verify:
+        a = read_trace(src)
+        b = read_trace(dst)
+        same = (a.events == b.events and a.failed == b.failed
+                and a.n_threads == b.n_threads and a.seed == b.seed)
+        if not same:
+            print("error: verify failed: decoded traces differ",
+                  file=sys.stderr)
+            return 1
+        print(f"verified: both files decode to {len(a.events)} "
+              "identical events")
+    return 0
+
+
 def _cmd_trace(args):
+    if args.program == "convert":
+        return _trace_convert(args)
+    if args.paths:
+        print("error: unexpected extra arguments "
+              f"{' '.join(args.paths)!r} (paths are only for "
+              "'trace convert')", file=sys.stderr)
+        return 2
     out_dir = os.path.dirname(args.out)
     if out_dir and not os.path.isdir(out_dir):
         print(f"error: output directory {out_dir!r} does not exist",
@@ -227,7 +280,7 @@ def _cmd_trace(args):
         print(f"error: {e}", file=sys.stderr)
         return 2
     run = run_program(program, seed=args.seed)
-    write_trace(run, args.out)
+    write_trace(run, args.out, trace_format=args.trace_format)
     print(f"wrote {len(run.events)} events "
           f"({run.n_threads} threads, failed={run.failed}) to {args.out}")
     return 0
@@ -284,6 +337,14 @@ def _cmd_corpus(args):
         with open(args.out, "w", encoding="utf-8") as f:
             f.write(metrics_json(result))
         print(f"metrics written to {args.out}")
+    if args.trace_dir:
+        from repro.analysis.accuracy import write_corpus_traces
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        paths = write_corpus_traces(spec, args.trace_dir,
+                                    trace_format=args.trace_format)
+        print(f"wrote {len(paths)} {args.trace_format} failure traces "
+              f"to {args.trace_dir}")
     if quarantine is not None:
         if len(quarantine):
             print(quarantine.summary())
@@ -368,10 +429,25 @@ def build_parser():
                    help="write the quarantine report (skipped units and "
                         "why) as JSON")
 
-    t = sub.add_parser("trace", help="record a workload trace")
-    t.add_argument("program")
+    t = sub.add_parser(
+        "trace",
+        help="record a workload trace, or convert one between formats")
+    t.add_argument("program",
+                   help="workload name, or 'convert' to re-encode an "
+                        "existing trace file")
+    t.add_argument("paths", nargs="*", metavar="PATH",
+                   help="for 'convert': the input and output trace files")
     t.add_argument("--seed", type=int, default=0)
     t.add_argument("--out", default="trace.jsonl")
+    t.add_argument("--trace-format", choices=("jsonl", "columnar"),
+                   default=None,
+                   help="on-disk trace format (default jsonl when "
+                        "recording; for 'convert' the default is the "
+                        "opposite of the input's format). Reads always "
+                        "auto-detect.")
+    t.add_argument("--verify", action="store_true",
+                   help="after 'convert', read both files back and "
+                        "check they decode to identical events")
     _add_telemetry_args(t)
 
     p = sub.add_parser(
@@ -416,6 +492,13 @@ def build_parser():
                         "(results identical to serial; 0 = all CPUs)")
     c.add_argument("--out", metavar="PATH",
                    help="write the canonical metrics JSON to PATH")
+    c.add_argument("--trace-dir", metavar="DIR",
+                   help="also record each program's failure run as a "
+                        "trace file under DIR (created if missing)")
+    c.add_argument("--trace-format", choices=("jsonl", "columnar"),
+                   default="columnar",
+                   help="format for --trace-dir trace files "
+                        "(default columnar)")
     _add_telemetry_args(c)
     c.add_argument("--checkpoint", metavar="PATH",
                    help="save per-program snapshots to PATH "

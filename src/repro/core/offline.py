@@ -24,6 +24,7 @@ from repro.core.encoding import DepEncoder
 from repro.nn.network import OneHiddenLayerNet, SigmoidTable
 from repro.nn.trainer import (
     TrainConfig,
+    _sgd_examples,
     evaluate_misprediction,
     search_topology,
     train_network,
@@ -66,13 +67,18 @@ def collect_runs_for_seeds(program, seeds, jobs=None, quarantine=None,
     seeds (the differential suite pins this).
     """
     from repro.parallel import run_tasks
+    from repro.trace import columnar
 
     seeds = list(seeds)
     runs = run_tasks(
         _correct_run_task,
         [(program, seed, params) for seed in seeds],
         jobs=jobs, quarantine=quarantine, phase="offline.collect",
-        keys=seeds)
+        keys=seeds,
+        # Collected runs are almost entirely event lists; shipping them
+        # home as packed columns is far cheaper than pickling per-event
+        # dataclasses. Exact round trip, so serial stays identical.
+        codec=(columnar.pack_run, columnar.unpack_run))
     kept = []
     for seed, run in zip(seeds, runs):
         if run is None:  # quarantined by run_tasks
@@ -326,6 +332,11 @@ class TrainedACT:
             xs_pos = [self.encoder.encode_seq(s)
                       for s in dict.fromkeys(pos)]
 
+        neg_mat = np.asarray(xs_neg, dtype=float)
+        neg_targets = np.full(len(xs_neg), 0.1)
+        pos_mat = np.asarray(xs_pos, dtype=float) if xs_pos else None
+        pos_targets = np.full(len(xs_pos), 0.9)
+
         updated = 0
         targets = list(self.weights.keys())
         for key in [None] + targets:
@@ -338,12 +349,15 @@ class TrainedACT:
             for _ in range(epochs):
                 # Cross-entropy gradient: the network is confidently
                 # wrong about these sequences, so the plain sigmoid rule
-                # would be stuck in saturation.
-                for x in xs_neg:
-                    net.train_example_ce(x, 0.1, lr)
-                for x in xs_pos:
-                    net.train_example(x, 0.9, lr)
-                if all(not net.predict_valid(x) for x in xs_neg):
+                # would be stuck in saturation. _sgd_examples is the
+                # trainer's inlined kernel -- bit-identical to calling
+                # train_example_ce/train_example per sequence.
+                _sgd_examples(net, neg_mat, neg_targets, lr,
+                              cross_entropy=True)
+                if pos_mat is not None:
+                    _sgd_examples(net, pos_mat, pos_targets, lr)
+                outputs, _risky = net.predict_batch_exact(neg_mat)
+                if not np.any(outputs >= 0.5):
                     break
             flat = net.read_weights()
             if key is None:

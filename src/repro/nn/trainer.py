@@ -12,7 +12,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.common.rng import make_np_rng
-from repro.nn.network import OneHiddenLayerNet
+from repro.nn.network import OneHiddenLayerNet, SigmoidTable
 
 
 @dataclass
@@ -52,6 +52,12 @@ class TrainConfig:
     batch_learning_rate: float = 2.0
     # Margin the restart loop considers "good enough" to stop early.
     accept_margin: float = 0.25
+    # Use the inlined per-example SGD kernel (_sgd_examples: hoisted
+    # weight views + direct sigmoid-table lookups) instead of calling
+    # net.train_example per row. Bit-identical results; the reference
+    # loop stays available as the equivalence oracle (and as the
+    # fallback for custom sigmoid objects).
+    fast_sgd: bool = True
 
 
 @dataclass
@@ -146,6 +152,56 @@ def _train_once(positives, negatives, n_hidden, cfg, seed, max_inputs):
                        history=history, worst_margin=float(margins.min()))
 
 
+def _sgd_examples(net, xs, targets, lr, order=None, cross_entropy=False):
+    """Inlined per-example SGD sweep, bit-identical to the method calls.
+
+    Runs the exact computation of ``net.train_example`` (or
+    ``train_example_ce``) for each row of ``xs`` in ``order``, with the
+    per-call overhead stripped: weight views, the sigmoid table and its
+    scale factors are hoisted out of the loop, and the table lookup is
+    applied inline. Every floating-point expression keeps the reference
+    kernel's operation order -- in particular the table index
+    ``(x + clip) * (resolution - 1) / (2 * clip)`` is *not* rewritten
+    with a precomputed scale, which would perturb the last ulp and
+    occasionally round to a different table entry.
+    """
+    sig = net.sigmoid
+    if not isinstance(sig, SigmoidTable):
+        # Custom activation object: take the reference path.
+        step = net.train_example_ce if cross_entropy else net.train_example
+        for idx in (order if order is not None else range(len(xs))):
+            step(xs[idx], targets[idx], lr)
+        return
+    table = sig._table
+    clip = sig.clip
+    res1 = sig.resolution - 1
+    two_clip = 2 * sig.clip
+    w_out = net.w_out
+    wh = net.w_hidden[:, :-1]
+    whb = net.w_hidden[:, -1]
+    wo = w_out[:-1]
+    if order is None:
+        order = range(len(xs))
+    for idx in order:
+        x = xs[idx]
+        target = targets[idx]
+        h_in = wh @ x + whb
+        fi = (h_in + clip) * res1 / two_clip
+        h = table[np.clip(np.rint(fi).astype(int), 0, res1)]
+        o_in = wo @ h + w_out[-1]
+        fo = (o_in + clip) * res1 / two_clip
+        o = float(table[np.clip(np.rint(fo).astype(int), 0, res1)])
+        if cross_entropy:
+            err_o = target - o
+        else:
+            err_o = o * (1.0 - o) * (target - o)
+        err_h = h * (1.0 - h) * (wo * err_o)
+        wo += lr * err_o * h
+        w_out[-1] += lr * err_o
+        wh += lr * np.outer(err_h, x)
+        whb += lr * err_h
+
+
 def _fit_sgd(net, xs, targets, labels, cfg, seed):
     """Per-example back-propagation (the hardware's learning rule)."""
     rng = make_np_rng(seed, stream=0x7EA1)
@@ -158,8 +214,11 @@ def _fit_sgd(net, xs, targets, labels, cfg, seed):
     for epoch in range(1, cfg.max_epochs + 1):
         if cfg.shuffle:
             rng.shuffle(order)
-        for idx in order:
-            net.train_example(xs[idx], targets[idx], cfg.learning_rate)
+        if cfg.fast_sgd:
+            _sgd_examples(net, xs, targets, cfg.learning_rate, order)
+        else:
+            for idx in order:
+                net.train_example(xs[idx], targets[idx], cfg.learning_rate)
         outputs = net.predict_batch(xs)
         err_rate = float(np.mean((outputs >= 0.5) != labels))
         history.append(err_rate)

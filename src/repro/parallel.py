@@ -4,8 +4,8 @@ The ACT pipeline is full of embarrassingly parallel loops whose items
 share nothing: correct-run collection (each run gets its own seed),
 post-failure pruning runs, per-thread offline training, and the
 topology-search grid. :func:`run_tasks` executes such a loop across a
-``ProcessPoolExecutor`` while keeping the *observable result identical*
-to the serial loop:
+process pool while keeping the *observable result identical* to the
+serial loop:
 
 - every item's inputs (seeds included) are fixed up front, so workers
   compute exactly what the serial iteration would have computed;
@@ -16,17 +16,34 @@ to the serial loop:
   serial counter/histogram totals (see
   :meth:`~repro.telemetry.registry.Registry.merge_snapshot`).
 
+The pool itself is process-wide and *warm*: a single
+:class:`PoolHandle` owns one ``ProcessPoolExecutor`` that is created on
+first use and reused across every batch in the process -- collection,
+training, topology search, corpus fan-out -- so only the first parallel
+call in a process pays worker startup. Batches dispatch items in small
+*chunks* (up to :data:`MAX_CHUNK` per submission) to amortise pickling
+and future overhead over several work units; each item inside a chunk
+still runs under its own task span and child registry, so chunking is
+invisible to telemetry and to the serial-identity guarantee. Callers
+whose results are dominated by bulk data can pass a
+``codec=(encode, decode)`` pair -- ``encode`` runs in the worker,
+``decode`` in the parent, and the serial path skips both -- e.g.
+collected traces cross the process boundary as packed numpy columns
+(:func:`repro.trace.columnar.pack_run`) instead of pickled per-event
+dataclasses.
+
 Tracing v2 makes the stitching *structural*: the coordinator's open
 span context (trace id + span id) and its clock spec cross the process
 boundary with each task, the worker tracks its spans under a
 deterministic per-task scope (``b<batch>.w<key>.``), and the parent
 adopts the worker's span trees as children of the dispatching span --
 a ``--jobs N`` run yields one coherent trace tree whose ids depend
-only on the work, never on which OS process executed it. When the
-parent registry has a flight recorder attached, workers record their
-own bounded event streams and ship them home too. A task whose worker
-died for good (retries exhausted, quarantined) leaves a closed span
-flagged ``orphaned`` at its dispatch site instead of a dangling tree.
+only on the work, never on which OS process executed it (or whether
+that process was freshly spawned or warm). When the parent registry has
+a flight recorder attached, workers record their own bounded event
+streams and ship them home too. A task whose worker died for good
+(retries exhausted, quarantined) leaves a closed span flagged
+``orphaned`` at its dispatch site instead of a dangling tree.
 
 This is also the pipeline's worker fault boundary:
 
@@ -40,8 +57,9 @@ This is also the pipeline's worker fault boundary:
 - killed tasks are retried up to ``plan.max_retries`` times with
   exponential backoff (``plan.retry_backoff`` seconds base);
 - a *genuine* worker crash (the pool breaks, e.g. a worker was
-  OOM-killed) rebuilds the pool and retries the unfinished items under
-  the same bounded-retry budget;
+  OOM-killed) takes down every item in flight on that pool; the shared
+  pool is rebuilt (it comes back warm for subsequent batches) and the
+  unfinished items are retried under the same bounded-retry budget;
 - with a :class:`~repro.faults.Quarantine`, items that exhaust their
   retries or fail with a :class:`~repro.common.errors.ReproError` are
   recorded and yield ``None`` instead of aborting the whole batch.
@@ -52,6 +70,7 @@ serial loop (the default everywhere) or ``jobs=N``; ``jobs<=0`` means
 one worker per CPU.
 """
 
+import atexit
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -63,6 +82,12 @@ from repro.common.errors import ReproError, WorkerKilled
 from repro.telemetry.clock import clock_from_spec, clock_spec
 from repro.telemetry.events import FlightRecorder
 
+#: Upper bound on items per pool submission. Chunking amortises pickle
+#: and future overhead across work units a few milliseconds long; the
+#: cap keeps retry granularity (a broken pool re-runs whole chunks) and
+#: load balance reasonable.
+MAX_CHUNK = 8
+
 
 def resolve_jobs(jobs):
     """Normalise a ``--jobs`` value: None/1 -> serial, <=0 -> cpu count."""
@@ -72,6 +97,75 @@ def resolve_jobs(jobs):
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def _noop(_x):
+    """Warm-up probe: forces a worker process to exist and respond."""
+    return None
+
+
+class PoolHandle:
+    """Owner of the process-wide warm worker pool.
+
+    One instance (:func:`get_pool`) lives for the whole process; every
+    parallel batch borrows its executor instead of paying
+    ``ProcessPoolExecutor`` startup per call. The pool grows on demand
+    (a request for more workers than it currently has rebuilds it at
+    the larger size) and never shrinks; :meth:`restart` replaces a
+    broken pool; :meth:`shutdown` (idempotent, also registered at
+    interpreter exit) releases the workers.
+    """
+
+    def __init__(self):
+        self._executor = None
+        self._max_workers = 0
+
+    @property
+    def max_workers(self):
+        """Workers in the current pool (0 when no pool is live)."""
+        return self._max_workers
+
+    def executor(self, n_workers):
+        """The shared executor, (re)built to hold >= ``n_workers``."""
+        if self._executor is None or self._max_workers < n_workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+            self._executor = ProcessPoolExecutor(max_workers=n_workers)
+            self._max_workers = n_workers
+        return self._executor
+
+    def warm(self, n_workers):
+        """Ensure ``n_workers`` live worker processes (blocking).
+
+        Round-trips one no-op per worker so that subsequent batches
+        measure steady-state dispatch, not process spawn.
+        """
+        ex = self.executor(n_workers)
+        list(ex.map(_noop, range(n_workers), chunksize=1))
+        return ex
+
+    def restart(self):
+        """Replace a (typically broken) pool with a fresh one, same size."""
+        n = self._max_workers
+        self.shutdown()
+        if n:
+            self.executor(n)
+
+    def shutdown(self):
+        """Release the pool's workers. Safe to call repeatedly."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._max_workers = 0
+
+
+_POOL = PoolHandle()
+atexit.register(_POOL.shutdown)
+
+
+def get_pool():
+    """The process-wide :class:`PoolHandle` shared by all batches."""
+    return _POOL
 
 
 def _backoff(plan, attempt):
@@ -99,14 +193,14 @@ def _tele_spec(tele, phase):
             tele.tracer.next_batch_scope(), phase, events_capacity)
 
 
-def _invoke(payload):
-    """Pool-worker trampoline: run one item, capturing child telemetry.
+def _invoke_one(fn, item, tspec, plan, key, attempt):
+    """Run one item in a pool worker, capturing child telemetry.
 
     Re-activates the parent's fault plan inside the worker (module
-    globals do not cross the process boundary) and hosts the injected
+    globals do not cross the process boundary -- and a warm worker may
+    carry a previous batch's globals) and hosts the injected
     worker-kill site.
     """
-    fn, item, tspec, plan, key, attempt = payload
     with _faults.use_plan(plan):
         if plan.enabled and plan.fires("worker_kill", key, attempt):
             raise WorkerKilled(
@@ -131,6 +225,30 @@ def _invoke(payload):
         if recorder is not None:
             snap["events"] = recorder.events()
         return out, snap
+
+
+def _invoke_chunk(payload):
+    """Pool-worker trampoline: run a chunk of items, tagging outcomes.
+
+    Each item still executes independently (own task span, own child
+    registry, own kill site); the chunk exists only to amortise
+    dispatch overhead. Per-item outcomes come back tagged so the parent
+    can apply retry/quarantine policy per item, exactly as if each had
+    been submitted alone.
+    """
+    fn, entries, tspec, plan, encode = payload
+    out = []
+    for item, key, attempt in entries:
+        try:
+            result, snap = _invoke_one(fn, item, tspec, plan, key, attempt)
+            if encode is not None:
+                result = encode(result)
+            out.append(("ok", result, snap))
+        except WorkerKilled as e:
+            out.append(("killed", e, None))
+        except Exception as e:  # noqa: BLE001 - re-raised in the parent
+            out.append(("error", e, None))
+    return out
 
 
 def _orphaned(tele, phase, key, attempts):
@@ -183,9 +301,16 @@ def _run_serial(fn, items, keys, plan, quarantine, phase, tele):
     return results
 
 
-def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
-    """Dispatch items across a process pool with bounded retries."""
+def _chunk_size(n_items, n_workers):
+    """Items per submission: fill the workers, capped at MAX_CHUNK."""
+    return max(1, min(-(-n_items // n_workers), MAX_CHUNK))
+
+
+def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers,
+              codec=None):
+    """Dispatch items across the warm pool with bounded retries."""
     tspec = _tele_spec(tele, phase)
+    encode, decode = codec if codec is not None else (None, None)
     n = len(items)
     results = [None] * n
     snaps = [None] * n
@@ -197,29 +322,33 @@ def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
             _backoff(plan, max_attempt)
         retry = {}
         pool_broke = False
-        with ProcessPoolExecutor(
-                max_workers=min(n_workers, len(pending))) as ex:
-            futures = {
-                index: ex.submit(
-                    _invoke, (fn, items[index], tspec, plan, keys[index],
-                              attempt))
-                for index, attempt in sorted(pending.items())}
-            for index, future in futures.items():
-                attempt = pending[index]
-                try:
-                    results[index], snaps[index] = future.result()
-                except WorkerKilled as e:
-                    tele.inc("faults.worker_kills")
-                    if attempt >= plan.max_retries:
-                        errors[index] = e
-                    else:
-                        retry[index] = attempt + 1
-                        tele.inc("parallel.retries")
-                except BrokenProcessPool:
-                    # A real worker death: every in-flight item fails
-                    # together. Rebuild the pool and re-run them under
-                    # the same bounded-retry budget.
-                    pool_broke = True
+        ex = _POOL.executor(n_workers)
+        order = sorted(pending)
+        size = _chunk_size(len(order), n_workers)
+        chunks = [order[i:i + size] for i in range(0, len(order), size)]
+        futures = []
+        for chunk in chunks:
+            entries = [(items[i], keys[i], pending[i]) for i in chunk]
+            try:
+                fut = ex.submit(_invoke_chunk,
+                                (fn, entries, tspec, plan, encode))
+            except BrokenProcessPool:
+                # The shared pool died between batches; treat the chunk
+                # like an in-flight crash below.
+                fut = None
+            futures.append((chunk, fut))
+        for chunk, future in futures:
+            try:
+                if future is None:
+                    raise BrokenProcessPool("pool broken at submit")
+                outcomes = future.result()
+            except BrokenProcessPool:
+                # A real worker death: every item in flight on this
+                # pool fails together. Rebuild the pool and re-run them
+                # under the same bounded-retry budget.
+                pool_broke = True
+                for index in chunk:
+                    attempt = pending[index]
                     tele.inc("faults.worker_kills")
                     if attempt >= plan.max_retries:
                         errors[index] = WorkerKilled(
@@ -229,10 +358,24 @@ def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
                     else:
                         retry[index] = attempt + 1
                         tele.inc("parallel.retries")
-                except Exception as e:  # noqa: BLE001 - re-raised below
-                    errors[index] = e
+                continue
+            for index, (tag, value, snap) in zip(chunk, outcomes):
+                attempt = pending[index]
+                if tag == "ok":
+                    results[index] = decode(value) if decode else value
+                    snaps[index] = snap
+                elif tag == "killed":
+                    tele.inc("faults.worker_kills")
+                    if attempt >= plan.max_retries:
+                        errors[index] = value
+                    else:
+                        retry[index] = attempt + 1
+                        tele.inc("parallel.retries")
+                else:
+                    errors[index] = value
         if pool_broke:
             tele.inc("parallel.pool_restarts")
+            _POOL.restart()
         pending = retry
     if errors:
         if quarantine is not None:
@@ -254,7 +397,7 @@ def _run_pool(fn, items, keys, plan, quarantine, phase, tele, n_workers):
 
 
 def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
-              keys=None):
+              keys=None, codec=None):
     """Apply ``fn`` to every item, optionally across worker processes.
 
     Serial (``jobs`` None/1) and parallel execution produce identical
@@ -265,6 +408,8 @@ def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
         fn: picklable callable of one item.
         items: work items (picklable).
         jobs: worker processes (None/1 = serial, <=0 = all CPUs).
+            Parallel batches share the process-wide warm pool
+            (:func:`get_pool`); only the first one pays startup.
         quarantine: optional :class:`~repro.faults.Quarantine`. Items
             that fail with a :class:`~repro.common.errors.ReproError`
             (including injected faults and exhausted worker-kill
@@ -274,6 +419,11 @@ def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
         phase: quarantine phase label for failed items.
         keys: per-item identities for quarantine records (defaults to
             the item index).
+        codec: optional ``(encode, decode)`` pair of module-level
+            functions. ``encode`` maps a result to its wire form in the
+            worker, ``decode`` inverts it in the parent; together they
+            must round-trip exactly. The serial path skips both, so a
+            codec can only change transfer cost, never results.
 
     Returns the list of results in item order (``None`` holes for
     quarantined items).
@@ -288,7 +438,7 @@ def run_tasks(fn, items, jobs=None, quarantine=None, phase="parallel",
     if n_workers <= 1:
         return _run_serial(fn, items, keys, plan, quarantine, phase, tele)
     results, snaps = _run_pool(fn, items, keys, plan, quarantine, phase,
-                               tele, n_workers)
+                               tele, n_workers, codec=codec)
     if tele.enabled:
         tele.inc("parallel.batches")
         tele.inc("parallel.tasks", len(items))

@@ -103,37 +103,48 @@ class TestFaultPlan:
         assert get_plan() is ZERO_PLAN
 
 
+@pytest.mark.parametrize("fmt", ["jsonl", "columnar"])
 class TestTraceFaults:
+    """Every trace-fault pin holds under both on-disk formats.
+
+    The decisions come from the shared, format-agnostic
+    :func:`repro.trace.trace_io.fault_decisions`, so the same plan
+    damages the same records whether the writer emits JSON lines or
+    packed columns.
+    """
+
     def _run(self, pingpong):
         return run_program(pingpong, seed=1)
 
-    def test_zero_plan_output_byte_identical(self, pingpong, tmp_path):
+    def test_zero_plan_output_byte_identical(self, pingpong, tmp_path, fmt):
         run = self._run(pingpong)
-        plain, faulted = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
-        write_trace(run, plain)
-        write_trace(run, faulted, faults=ZERO_PLAN)
+        plain, faulted = tmp_path / "a.trace", tmp_path / "b.trace"
+        write_trace(run, plain, trace_format=fmt)
+        write_trace(run, faulted, faults=ZERO_PLAN, trace_format=fmt)
         assert plain.read_bytes() == faulted.read_bytes()
 
-    def test_dropped_records_shorten_trace(self, pingpong, tmp_path):
+    def test_dropped_records_shorten_trace(self, pingpong, tmp_path, fmt):
         run = self._run(pingpong)
-        path = tmp_path / "t.jsonl"
-        write_trace(run, path, faults=FaultPlan(seed=2, trace_drop=0.3))
+        path = tmp_path / "t.trace"
+        write_trace(run, path, faults=FaultPlan(seed=2, trace_drop=0.3),
+                    trace_format=fmt)
         back = read_trace(path)
         assert 0 < len(back.events) < len(run.events)
 
-    def test_corrupt_records_fail_closed(self, pingpong, tmp_path):
+    def test_corrupt_records_fail_closed(self, pingpong, tmp_path, fmt):
         run = self._run(pingpong)
-        path = tmp_path / "t.jsonl"
-        write_trace(run, path, faults=FaultPlan(seed=2, trace_corrupt=0.3))
+        path = tmp_path / "t.trace"
+        write_trace(run, path, faults=FaultPlan(seed=2, trace_corrupt=0.3),
+                    trace_format=fmt)
         with pytest.raises(TraceError):
             read_trace(path)
 
-    def test_recovery_skips_and_reports(self, pingpong, tmp_path):
+    def test_recovery_skips_and_reports(self, pingpong, tmp_path, fmt):
         run = self._run(pingpong)
-        path = tmp_path / "t.jsonl"
+        path = tmp_path / "t.trace"
         plan = FaultPlan(seed=2, trace_corrupt=0.3)
         with telemetry.use_registry(telemetry.Registry()) as reg:
-            write_trace(run, path, faults=plan)
+            write_trace(run, path, faults=plan, trace_format=fmt)
             quarantine = Quarantine()
             back = read_trace(path, quarantine=quarantine)
         skipped = back.meta["skipped_records"]
@@ -147,18 +158,39 @@ class TestTraceFaults:
         assert snap["faults.trace_corruptions"] == skipped
         assert snap["faults.trace_records_skipped"] == skipped
 
-    def test_reorder_swaps_adjacent_records(self, pingpong, tmp_path):
+    def test_reorder_swaps_adjacent_records(self, pingpong, tmp_path, fmt):
         run = self._run(pingpong)
-        path = tmp_path / "t.jsonl"
-        write_trace(run, path, faults=FaultPlan(seed=5, trace_reorder=0.3))
+        path = tmp_path / "t.trace"
+        write_trace(run, path, faults=FaultPlan(seed=5, trace_reorder=0.3),
+                    trace_format=fmt)
         back = read_trace(path)
         assert len(back.events) == len(run.events)
         assert back.events != run.events
         assert sorted(back.events, key=repr) == sorted(run.events, key=repr)
 
-    def test_header_damage_never_recoverable(self, tmp_path):
-        path = tmp_path / "t.jsonl"
-        path.write_text("{not json\n")
+    def test_same_plan_damages_same_records_in_both_formats(
+            self, pingpong, tmp_path, fmt):
+        run = self._run(pingpong)
+        plan = FaultPlan(seed=13, trace_drop=0.2, trace_corrupt=0.2,
+                         trace_reorder=0.2)
+        mine, other = tmp_path / "a.trace", tmp_path / "b.trace"
+        write_trace(run, mine, faults=plan, trace_format=fmt)
+        write_trace(run, other, faults=plan,
+                    trace_format="columnar" if fmt == "jsonl" else "jsonl")
+        a = read_trace(mine, recover=True)
+        b = read_trace(other, recover=True)
+        assert a.events == b.events
+        assert a.meta.get("skipped_records") == b.meta.get("skipped_records")
+
+    def test_header_damage_never_recoverable(self, pingpong, tmp_path, fmt):
+        path = tmp_path / "t.trace"
+        if fmt == "jsonl":
+            path.write_text("{not json\n")
+        else:
+            write_trace(self._run(pingpong), path, trace_format="columnar")
+            data = bytearray(path.read_bytes())
+            data[14] ^= 0xFF  # inside the header JSON
+            path.write_bytes(bytes(data))
         with pytest.raises(TraceError):
             read_trace(path, recover=True)
 

@@ -288,14 +288,33 @@ class TestNoFaultEscapesQuarantine:
         if len(quarantine):
             assert report.quarantine == quarantine.report_dict()
 
+    @pytest.mark.parametrize("fmt", ["jsonl", "columnar"])
     @settings(max_examples=15, deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])
     @given(plan=_trace_plans)
-    def test_trace_round_trip_always_recovers(self, plan, tmp_path):
+    def test_trace_round_trip_always_recovers(self, plan, fmt, tmp_path):
         run = _correct_run()
-        path = tmp_path / f"t{plan.seed}.jsonl"
-        write_trace(run, path, faults=plan)
+        path = tmp_path / f"t{plan.seed}.{fmt}"
+        write_trace(run, path, faults=plan, trace_format=fmt)
         quarantine = Quarantine()
         back = read_trace(path, quarantine=quarantine)
         assert len(back.events) <= len(run.events)
         assert back.seed == run.seed
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(plan=_trace_plans)
+    def test_same_plan_survivors_identical_across_formats(self, plan,
+                                                          tmp_path):
+        """The format-agnostic fault decisions damage the same records
+        whether the writer emits JSON lines or packed columns."""
+        run = _correct_run()
+        jsonl_path = tmp_path / f"t{plan.seed}.jsonl"
+        col_path = tmp_path / f"t{plan.seed}.columnar"
+        write_trace(run, jsonl_path, faults=plan)
+        write_trace(run, col_path, faults=plan, trace_format="columnar")
+        a = read_trace(jsonl_path, recover=True)
+        b = read_trace(col_path, recover=True)
+        assert a.events == b.events
+        assert (a.meta.get("skipped_records")
+                == b.meta.get("skipped_records"))

@@ -17,7 +17,7 @@ from repro.core.config import ACTConfig
 from repro.core.diagnosis import diagnose_failure
 from repro.core.offline import OfflineTrainer, collect_correct_runs
 from repro.faults import FaultPlan, Quarantine, use_plan
-from repro.parallel import resolve_jobs, run_tasks
+from repro.parallel import get_pool, resolve_jobs, run_tasks
 from repro.workloads.registry import get_bug
 
 _CONFIG = ACTConfig()
@@ -327,3 +327,78 @@ class TestTrainingAndDiagnosis:
         serial = diagnose_failure(program, **kwargs)
         parallel = diagnose_failure(program, jobs=2, **kwargs)
         assert serial == parallel
+
+
+def _encode_triple(x):
+    return ("wire", x)
+
+
+def _decode_triple(payload):
+    tag, x = payload
+    assert tag == "wire"
+    return x
+
+
+class TestWarmPool:
+    """The process-wide pool is created once and reused across batches."""
+
+    def test_get_pool_is_a_singleton(self):
+        assert get_pool() is get_pool()
+
+    def test_executor_reused_across_batches(self):
+        pool = get_pool()
+        run_tasks(_double, [1, 2, 3], jobs=2)
+        first = pool._executor
+        run_tasks(_double, [4, 5, 6], jobs=2)
+        assert pool._executor is first
+
+    def test_pool_grows_but_never_shrinks(self):
+        pool = get_pool()
+        pool.shutdown()  # earlier tests may have grown the shared pool
+        pool.executor(2)
+        grown = pool.executor(3)
+        assert pool.max_workers == 3
+        assert pool.executor(2) is grown
+        assert pool.max_workers == 3
+
+    def test_shutdown_then_reuse_spawns_fresh_pool(self):
+        pool = get_pool()
+        run_tasks(_double, [1], jobs=2)
+        pool.shutdown()
+        assert run_tasks(_double, [7, 8], jobs=2) == [14, 16]
+
+    def test_warm_round_trips_every_worker(self):
+        pool = get_pool()
+        pool.warm(2)
+        assert pool.max_workers >= 2
+        assert run_tasks(_double, [3], jobs=2) == [6]
+
+    def test_codec_round_trips_results(self):
+        items = list(range(5))
+        expected = [2 * i for i in items]
+        assert run_tasks(_double, items, jobs=2,
+                         codec=(_encode_triple, _decode_triple)) == expected
+        # Serial path never encodes: results are the raw values.
+        assert run_tasks(_double, items,
+                         codec=(_encode_triple, _decode_triple)) == expected
+
+    def test_two_consecutive_diagnoses_identical_to_serial(self):
+        # Warm-pool reuse determinism: the second --jobs diagnosis runs
+        # on the already-warm pool and must still match serial exactly.
+        program = get_bug("gzip")
+        kwargs = dict(config=_CONFIG, n_train_runs=3, n_pruning_runs=4)
+        serial = diagnose_failure(program, **kwargs)
+        first = diagnose_failure(program, jobs=2, **kwargs)
+        second = diagnose_failure(program, jobs=2, **kwargs)
+        assert first == serial
+        assert second == serial
+
+    def test_pool_survives_a_crash_and_stays_warm(self, tmp_path):
+        flag = str(tmp_path / "crashed")
+        payloads = [(flag, x) for x in range(3)]
+        assert run_tasks(_crash_once_then_double, payloads, jobs=2) \
+            == [0, 2, 4]
+        pool = get_pool()
+        restarted = pool._executor
+        assert run_tasks(_double, [9], jobs=2) == [18]
+        assert pool._executor is restarted

@@ -129,3 +129,68 @@ class TestGate:
         assert rc == 0
         (entry,) = trend.load_history(tmp_path / "hist.jsonl")
         assert entry["metrics"]["parallel.speedup_warm"] == 2.8
+
+
+def _full_payload(speedup=3.0, pspeed=0.9, wall=5.0):
+    payload = _payload(speedup=speedup)
+    payload["parallel"]["speedup"] = pspeed
+    payload["trace_io"] = {"read_speedup": 2.0, "write_speedup": 3.0}
+    payload["corpus_wall_seconds"] = wall
+    return payload
+
+
+class TestDirectionalGates:
+    def test_wall_time_rise_within_threshold_passes(self, tmp_path):
+        _run(tmp_path, _full_payload(wall=5.0))
+        rc, text = _run(tmp_path, _full_payload(wall=7.0))  # +40% < 50%
+        assert rc == 0
+        assert "trend OK" in text
+
+    def test_wall_time_collapse_fails(self, tmp_path):
+        _run(tmp_path, _full_payload(wall=5.0))
+        rc, text = _run(tmp_path, _full_payload(wall=8.0))  # +60% > 50%
+        assert rc == 1
+        assert "corpus_wall_seconds" in text
+
+    def test_wall_time_improvement_passes(self, tmp_path):
+        _run(tmp_path, _full_payload(wall=5.0))
+        rc, _ = _run(tmp_path, _full_payload(wall=2.0))
+        assert rc == 0
+
+    def test_parallel_speedup_gate_is_widened(self, tmp_path):
+        # The run default (30%) does not apply: the warm-pool gate only
+        # trips on a collapse beyond its own 50% threshold.
+        _run(tmp_path, _full_payload(pspeed=1.0))
+        rc, _ = _run(tmp_path, _full_payload(pspeed=0.6))  # -40% < 50%
+        assert rc == 0
+        rc, text = _run(tmp_path, _full_payload(pspeed=0.2))  # -67% > 50%
+        assert rc == 1
+        assert "parallel.speedup" in text and "50%" in text
+
+    def test_absent_gated_metric_logs_a_skip(self, tmp_path):
+        _run(tmp_path, _full_payload())
+        missing = _full_payload()
+        del missing["corpus_wall_seconds"]
+        rc, text = _run(tmp_path, missing)
+        assert rc == 0
+        assert "gate skipped: corpus_wall_seconds" in text
+        assert "current entry" in text
+
+    def test_check_regressions_collects_skip_reasons(self):
+        prev = trend.make_entry(_payload(), timestamp=0.0)
+        cur = trend.make_entry(_full_payload(), timestamp=1.0)
+        skips = []
+        regs = trend.check_regressions(prev, cur, skips=skips)
+        assert regs == []
+        skipped = {s["metric"] for s in skips}
+        assert "corpus_wall_seconds" in skipped
+        assert "parallel.speedup" in skipped
+
+    def test_trace_io_speedups_are_tracked_not_gated(self, tmp_path):
+        _run(tmp_path, _full_payload())
+        worse = _full_payload()
+        worse["trace_io"]["read_speedup"] = 0.1
+        rc, _ = _run(tmp_path, worse)
+        assert rc == 0
+        entries = trend.load_history(tmp_path / "hist.jsonl")
+        assert entries[-1]["metrics"]["trace_io.read_speedup"] == 0.1
