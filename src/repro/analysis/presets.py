@@ -93,15 +93,18 @@ def preset_from_env(default="bench"):
     """Resolve the preset named by ``REPRO_PRESET`` (fast|bench|full).
 
     ``REPRO_JOBS`` additionally sets the worker-process count (serial
-    when unset).
+    when unset, ``0`` = auto/all CPUs -- resolved by
+    :func:`repro.parallel.resolve_jobs`, the one shared place).
     """
+    from repro.parallel import jobs_from_env
+
     name = os.environ.get("REPRO_PRESET", default).lower()
     try:
         preset = {"fast": FAST, "bench": BENCH, "full": FULL}[name]
     except KeyError:
         raise ValueError(f"unknown REPRO_PRESET {name!r}; "
                          "expected fast, bench or full") from None
-    jobs = os.environ.get("REPRO_JOBS")
-    if jobs:
-        preset = replace(preset, jobs=int(jobs))
+    jobs = jobs_from_env()
+    if jobs is not None:
+        preset = replace(preset, jobs=jobs)
     return preset

@@ -17,6 +17,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli profile lu mcf        # workload communication profile
     python -m repro.cli corpus --seed 7 --size 20 --jobs 4 \
         --out metrics.json                    # accuracy on generated corpus
+    python -m repro.cli serve --state jobs.json --jobs 2 &   # daemon
+    python -m repro.cli submit --wait diagnose gzip          # via daemon
+    python -m repro.cli status --out status.json
+    python -m repro.cli shutdown
 
 ``diagnose`` runs the full ACT pipeline against a bundled bug program
 or a generated one (``gen-<archetype>-<motif>-s<seed>``); ``trace``
@@ -37,6 +41,13 @@ re-renders a saved profile JSON *or* a flight recording; ``--flame``
 emits folded stacks for flamegraph tooling, ``--critical-path`` the
 heaviest root-to-leaf span chain, and ``--openmetrics`` the OpenMetrics
 text exposition of the metrics.
+
+``serve`` runs the diagnosis-as-a-service daemon on a local socket;
+``submit``/``status``/``result``/``shutdown`` are its clients. A job
+submitted with ``submit --wait`` prints exactly what the equivalent
+cold command would have printed and exits with its exit code (the
+daemon runs the same :mod:`repro.service.ops` code the CLI does). See
+``docs/service.md``.
 """
 
 import argparse
@@ -45,32 +56,24 @@ import sys
 
 from repro import __version__, telemetry
 from repro.analysis.experiments import experiment_names, run_experiment
-from repro.common.errors import CheckpointError, ReproError
-from repro.core.config import ACTConfig
-from repro.core.diagnosis import diagnose_failure
-from repro.faults import FaultPlan, Quarantine
-from repro.telemetry import (
-    FlightRecorder,
-    TickClock,
-    format_critical_path,
-    format_flame,
-    format_profile,
-    is_event_stream,
-    profile_dict,
-    read_events_profile,
-    read_profile,
-    render_openmetrics,
-)
+from repro.common.errors import ReproError
+from repro.service import ops
+from repro.telemetry import FlightRecorder, TickClock, profile_dict
 from repro.telemetry import selfcost
-from repro.trace.trace_io import write_trace
-from repro.workloads.framework import run_program
-from repro.workloads.registry import (
-    all_bug_names,
-    all_kernel_names,
-    get_bug,
-    get_kernel,
-    get_workload,
-)
+from repro.workloads.registry import all_bug_names, all_kernel_names
+
+#: Default daemon socket, shared by serve and every client command.
+DEFAULT_SOCKET = ".repro-serve.sock"
+
+
+def _emit(outcome):
+    """Print an :class:`~repro.service.ops.Outcome` the way the inline
+    command bodies used to: stdout text, then stderr text, then rc."""
+    if outcome.out:
+        print(outcome.out)
+    if outcome.err:
+        print(outcome.err, file=sys.stderr)
+    return outcome.rc
 
 
 def _cmd_list(_args):
@@ -83,275 +86,19 @@ def _cmd_list(_args):
 
 
 def _cmd_diagnose(args):
-    try:
-        program = get_bug(args.bug)
-    except ReproError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    config = ACTConfig(seq_len=args.seq_len,
-                       debug_buffer=args.debug_buffer,
-                       mispred_threshold=args.threshold)
-    checkpoint = args.checkpoint
-    if args.resume:
-        if not os.path.isfile(args.resume):
-            print(f"error: checkpoint {args.resume!r} does not exist",
-                  file=sys.stderr)
-            return 2
-        checkpoint = args.resume
-    plan = None
-    if args.faults:
-        try:
-            plan = FaultPlan.from_spec(args.faults)
-        except ReproError as e:
-            print(f"error: bad --faults spec: {e}", file=sys.stderr)
-            return 2
-    quarantine = None
-    if plan is not None or args.quarantine_report:
-        quarantine = Quarantine()
-    try:
-        report = diagnose_failure(program, config=config,
-                                  n_train_runs=args.train_runs,
-                                  n_pruning_runs=args.pruning_runs,
-                                  failure_seed=args.seed,
-                                  fast=args.fast, jobs=args.jobs,
-                                  faults=plan, quarantine=quarantine,
-                                  checkpoint=checkpoint)
-    except CheckpointError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    print(f"program          : {report.program}")
-    print(f"failure          : {report.failure_description}")
-    print(f"deps observed    : {report.n_deps} "
-          f"({report.n_invalid} flagged invalid)")
-    print(f"debug buffer     : {report.n_debug_entries} entries"
-          f"{' (overflowed)' if report.debug_overflowed else ''}")
-    print(f"filtered         : {report.filter_pct:.0f}%")
-    print(f"root cause found : {report.found}"
-          + (f" at rank {report.rank}" if report.found else ""))
-    for note in report.notes:
-        print(f"note: {note}")
-    for i, f in enumerate(report.top(args.top), start=1):
-        dep = f.mismatch_dep or f.seq[-1]
-        print(f"  #{i}: store {dep.store_pc:#x} -> load {dep.load_pc:#x} "
-              f"({'inter' if dep.inter_thread else 'intra'}-thread, "
-              f"matched {f.matched}, output {f.output:.3f})")
-    if quarantine is not None:
-        if len(quarantine):
-            print(quarantine.summary())
-        if args.quarantine_report:
-            quarantine.write_report(args.quarantine_report)
-            print(f"quarantine report written to {args.quarantine_report}")
-    return 0 if report.found else 1
-
-
-def _bug_run_profile(name, args):
-    """Diagnose ``name`` under a fresh registry; return the profile dict."""
-    program = get_bug(name)
-    tick = getattr(args, "tick_clock", False)
-    registry = telemetry.Registry(clock=TickClock() if tick else None)
-    with telemetry.use_registry(registry):
-        report = diagnose_failure(program,
-                                  n_train_runs=args.train_runs,
-                                  n_pruning_runs=args.pruning_runs)
-    meta = {"program": name, "found": report.found}
-    if report.rank is not None:
-        meta["rank"] = report.rank
-    return profile_dict(
-        registry, meta=meta, self_overhead=True,
-        calibration=selfcost.PINNED_CALIBRATION if tick else None)
-
-
-def _render_profile(profile, args, title=None):
-    """Print the requested views of ``profile`` (tables by default)."""
-    rendered = False
-    if getattr(args, "flame", False):
-        print(format_flame(profile.get("spans") or []))
-        rendered = True
-    if getattr(args, "critical_path", False):
-        print(format_critical_path(profile.get("spans") or []))
-        rendered = True
-    if getattr(args, "openmetrics", False):
-        print(render_openmetrics(profile))
-        rendered = True
-    if not rendered:
-        print(format_profile(profile, title=title))
-
-
-def _cmd_profile(args):
-    if args.load:
-        if not os.path.isfile(args.load):
-            print(f"error: profile {args.load!r} does not exist",
-                  file=sys.stderr)
-            return 2
-        profile = (read_events_profile(args.load)
-                   if is_event_stream(args.load) else read_profile(args.load))
-        _render_profile(profile, args)
-        return 0
-    from repro.workloads.generator import parse_generated_name
-
-    bug_names = set(all_bug_names())
-    names = args.programs or all_kernel_names()
-    comm_profiles = []
-    first = True
-    for name in names:
-        if name in bug_names or parse_generated_name(name) is not None:
-            profile = _bug_run_profile(name, args)
-            if not first:
-                print()
-            _render_profile(profile, args, title=f"run profile: {name}")
-            first = False
-        else:
-            from repro.sim.trace_stats import profile_run
-
-            program = get_kernel(name)
-            run = run_program(program, seed=args.seed)
-            comm_profiles.append(profile_run(run, name=name))
-    if comm_profiles:
-        from repro.sim.trace_stats import profile_table
-
-        if not first:
-            print()
-        print(profile_table(comm_profiles))
-    return 0
-
-
-def _trace_convert(args):
-    """``repro trace convert IN OUT``: re-encode a trace file.
-
-    The output format is the *other* one by default (columnar input ->
-    JSON-lines output and vice versa); ``--trace-format`` forces it.
-    ``--verify`` reads both files back and diffs the decoded events.
-    """
-    from repro.trace import columnar, read_trace
-
-    if len(args.paths) != 2:
-        print("error: trace convert needs exactly IN and OUT paths",
-              file=sys.stderr)
-        return 2
-    src, dst = args.paths
-    if not os.path.isfile(src):
-        print(f"error: trace {src!r} does not exist", file=sys.stderr)
-        return 2
-    out_dir = os.path.dirname(dst)
-    if out_dir and not os.path.isdir(out_dir):
-        print(f"error: output directory {out_dir!r} does not exist",
-              file=sys.stderr)
-        return 2
-    try:
-        run = read_trace(src)
-    except ReproError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    fmt = args.trace_format
-    if fmt is None:
-        fmt = "jsonl" if columnar.is_columnar(src) else "columnar"
-    write_trace(run, dst, trace_format=fmt)
-    print(f"converted {src} -> {dst} ({fmt}, {len(run.events)} events)")
-    if args.verify:
-        a = read_trace(src)
-        b = read_trace(dst)
-        same = (a.events == b.events and a.failed == b.failed
-                and a.n_threads == b.n_threads and a.seed == b.seed)
-        if not same:
-            print("error: verify failed: decoded traces differ",
-                  file=sys.stderr)
-            return 1
-        print(f"verified: both files decode to {len(a.events)} "
-              "identical events")
-    return 0
+    return _emit(ops.run_diagnose(ops.DiagnoseRequest.from_args(args)))
 
 
 def _cmd_trace(args):
-    if args.program == "convert":
-        return _trace_convert(args)
-    if args.paths:
-        print("error: unexpected extra arguments "
-              f"{' '.join(args.paths)!r} (paths are only for "
-              "'trace convert')", file=sys.stderr)
-        return 2
-    out_dir = os.path.dirname(args.out)
-    if out_dir and not os.path.isdir(out_dir):
-        print(f"error: output directory {out_dir!r} does not exist",
-              file=sys.stderr)
-        return 2
-    try:
-        program = get_workload(args.program)
-    except ReproError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    run = run_program(program, seed=args.seed)
-    write_trace(run, args.out, trace_format=args.trace_format)
-    print(f"wrote {len(run.events)} events "
-          f"({run.n_threads} threads, failed={run.failed}) to {args.out}")
-    return 0
+    return _emit(ops.run_trace(ops.TraceRequest.from_args(args)))
+
+
+def _cmd_profile(args):
+    return _emit(ops.run_profile(ops.ProfileRequest.from_args(args)))
 
 
 def _cmd_corpus(args):
-    from repro.analysis.accuracy import (
-        CorpusSpec,
-        format_corpus,
-        metrics_json,
-        run_corpus,
-    )
-
-    if args.out:
-        out_dir = os.path.dirname(args.out)
-        if out_dir and not os.path.isdir(out_dir):
-            print(f"error: output directory {out_dir!r} does not exist",
-                  file=sys.stderr)
-            return 2
-    checkpoint = args.checkpoint
-    if args.resume:
-        if not os.path.isfile(args.resume):
-            print(f"error: checkpoint {args.resume!r} does not exist",
-                  file=sys.stderr)
-            return 2
-        checkpoint = args.resume
-    plan = None
-    if args.faults:
-        try:
-            plan = FaultPlan.from_spec(args.faults)
-        except ReproError as e:
-            print(f"error: bad --faults spec: {e}", file=sys.stderr)
-            return 2
-    quarantine = None
-    if plan is not None or args.quarantine_report:
-        quarantine = Quarantine()
-    spec = CorpusSpec(seed=args.seed, size=args.size, top_k=args.top,
-                      n_train_runs=args.train_runs,
-                      n_pruning_runs=args.pruning_runs,
-                      config=ACTConfig(seq_len=args.seq_len))
-    try:
-        result = run_corpus(spec, jobs=args.jobs, faults=plan,
-                            quarantine=quarantine, checkpoint=checkpoint)
-    except CheckpointError as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
-    print(format_corpus(result))
-    if args.out:
-        out_dir = os.path.dirname(args.out)
-        if out_dir and not os.path.isdir(out_dir):
-            print(f"error: output directory {out_dir!r} does not exist",
-                  file=sys.stderr)
-            return 2
-        with open(args.out, "w", encoding="utf-8") as f:
-            f.write(metrics_json(result))
-        print(f"metrics written to {args.out}")
-    if args.trace_dir:
-        from repro.analysis.accuracy import write_corpus_traces
-
-        os.makedirs(args.trace_dir, exist_ok=True)
-        paths = write_corpus_traces(spec, args.trace_dir,
-                                    trace_format=args.trace_format)
-        print(f"wrote {len(paths)} {args.trace_format} failure traces "
-              f"to {args.trace_dir}")
-    if quarantine is not None:
-        if len(quarantine):
-            print(quarantine.summary())
-        if args.quarantine_report:
-            quarantine.write_report(args.quarantine_report)
-            print(f"quarantine report written to {args.quarantine_report}")
-    return 0
+    return _emit(ops.run_corpus(ops.CorpusRequest.from_args(args)))
 
 
 def _cmd_experiment(args):
@@ -365,6 +112,135 @@ def _cmd_experiment(args):
         preset = replace(preset, jobs=args.jobs)
     print(run_experiment(args.name, preset))
     return 0
+
+
+# -- service commands --------------------------------------------------
+
+
+def _cmd_serve(args):
+    from repro.service.server import Server
+
+    try:
+        server = Server(args.socket, state_path=args.state, jobs=args.jobs,
+                        warm_capacity=args.warm_capacity,
+                        tick_clock=args.tick_clock)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"repro serve: listening on {args.socket} (pid {os.getpid()})",
+          flush=True)
+    try:
+        completed = server.run()
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"repro serve: shut down ({completed} jobs completed)")
+    return 0
+
+
+def _cmd_submit(args):
+    from repro.service import client
+
+    req = ops.REQUEST_TYPES[args.kind].from_args(args)
+    try:
+        job = client.submit(args.socket, req)
+        if not args.wait:
+            print(job["id"])
+            return 0
+        reply = client.wait_for(args.socket, job["id"],
+                                timeout=args.timeout)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    result = reply.get("result") or {}
+    if result.get("out"):
+        print(result["out"])
+    if result.get("err"):
+        print(result["err"], file=sys.stderr)
+    return result.get("rc", 2)
+
+
+def _format_job_row(job):
+    rc = job.get("rc")
+    return (f"  {job['id']:<6} {job['kind']:<9} {job['state']:<8}"
+            + (f" rc {rc}" if rc is not None else ""))
+
+
+def _cmd_status(args):
+    import json
+
+    from repro.service import client
+
+    try:
+        reply = client.status(args.socket, job_id=args.job)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(reply, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.job is not None:
+        print(_format_job_row(reply["job"]).strip())
+        if reply.get("profile") and not args.out:
+            spans = reply["profile"].get("spans") or []
+            print(f"profile: {len(spans)} top-level spans "
+                  f"(use --out to save the full JSON)")
+    else:
+        counts = reply["counts"]
+        warm = reply["warm"]
+        print(f"daemon pid {reply['pid']} (repro {reply['version']})")
+        print(f"jobs: {counts['queued']} queued, {counts['running']} "
+              f"running, {counts['done']} done, {counts['failed']} failed")
+        print(f"warm cache: {warm['size']}/{warm['capacity']} entries, "
+              f"{warm['hits']} hits, {warm['misses']} misses, "
+              f"{warm['evictions']} evictions")
+        for job in reply["jobs"]:
+            print(_format_job_row(job))
+    if args.out:
+        print(f"status JSON written to {args.out}")
+    return 0
+
+
+def _cmd_result(args):
+    from repro.service import client
+    from repro.service.jobstore import JOB_DONE, JOB_FAILED
+
+    try:
+        if args.wait:
+            reply = client.wait_for(args.socket, args.job,
+                                    timeout=args.timeout)
+        else:
+            reply = client.result(args.socket, args.job)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    state = reply["job"]["state"]
+    if state not in (JOB_DONE, JOB_FAILED):
+        print(f"error: job {args.job} is still {state} "
+              "(use --wait to block)", file=sys.stderr)
+        return 2
+    result = reply.get("result") or {}
+    if result.get("out"):
+        print(result["out"])
+    if result.get("err"):
+        print(result["err"], file=sys.stderr)
+    return result.get("rc", 2)
+
+
+def _cmd_shutdown(args):
+    from repro.service import client
+
+    try:
+        client.shutdown(args.socket)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print("daemon shutting down")
+    return 0
+
+
+# -- parser ------------------------------------------------------------
 
 
 def _add_telemetry_args(cmd):
@@ -387,17 +263,8 @@ def _add_telemetry_args(cmd):
                           "then modelled from pinned unit costs)")
 
 
-def build_parser():
-    parser = argparse.ArgumentParser(
-        prog="repro", description="ACT failure-diagnosis reproduction")
-    parser.add_argument("--version", action="version",
-                        version=f"repro {__version__}")
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list bundled workloads and experiments")
-
-    d = sub.add_parser("diagnose",
-                       help="diagnose a bundled or generated bug with ACT")
+def _add_diagnose_args(d):
+    """``diagnose`` flags, shared with ``submit diagnose``."""
     d.add_argument("bug", metavar="BUG",
                    help="a bundled bug name (see 'repro list') or a "
                         "generated name like gen-atomicity-pipeline-s7")
@@ -414,7 +281,6 @@ def build_parser():
     d.add_argument("--no-fast", dest="fast", action="store_false",
                    help="replay the failure run through the scalar "
                         "reference path instead of the batched fast path")
-    _add_telemetry_args(d)
     d.add_argument("--checkpoint", metavar="PATH",
                    help="save checksummed phase snapshots to PATH "
                         "(created if missing, resumed if present)")
@@ -429,9 +295,9 @@ def build_parser():
                    help="write the quarantine report (skipped units and "
                         "why) as JSON")
 
-    t = sub.add_parser(
-        "trace",
-        help="record a workload trace, or convert one between formats")
+
+def _add_trace_args(t):
+    """``trace`` flags, shared with ``submit trace``."""
     t.add_argument("program",
                    help="workload name, or 'convert' to re-encode an "
                         "existing trace file")
@@ -448,12 +314,10 @@ def build_parser():
     t.add_argument("--verify", action="store_true",
                    help="after 'convert', read both files back and "
                         "check they decode to identical events")
-    _add_telemetry_args(t)
 
-    p = sub.add_parser(
-        "profile",
-        help="telemetry run profile of a bug diagnosis, or the "
-             "communication profile of workloads")
+
+def _add_profile_args(p):
+    """``profile`` flags, shared with ``submit profile``."""
     p.add_argument("programs", nargs="*")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--train-runs", type=int, default=6)
@@ -472,9 +336,9 @@ def build_parser():
                    help="use the deterministic tick clock for fresh "
                         "profile runs")
 
-    c = sub.add_parser(
-        "corpus",
-        help="diagnosis accuracy over a generated ground-truth corpus")
+
+def _add_corpus_args(c):
+    """``corpus`` flags, shared with ``submit corpus``."""
     c.add_argument("--seed", type=int, default=7,
                    help="corpus seed (same seed + size => byte-identical "
                         "metrics JSON)")
@@ -499,7 +363,6 @@ def build_parser():
                    default="columnar",
                    help="format for --trace-dir trace files "
                         "(default columnar)")
-    _add_telemetry_args(c)
     c.add_argument("--checkpoint", metavar="PATH",
                    help="save per-program snapshots to PATH "
                         "(created if missing, resumed if present)")
@@ -514,6 +377,45 @@ def build_parser():
                    help="write the quarantine report (skipped programs "
                         "and why) as JSON")
 
+
+def _add_socket_arg(cmd):
+    cmd.add_argument("--socket", metavar="PATH", default=DEFAULT_SOCKET,
+                     help="daemon socket path "
+                          f"(default {DEFAULT_SOCKET})")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ACT failure-diagnosis reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads and experiments")
+
+    d = sub.add_parser("diagnose",
+                       help="diagnose a bundled or generated bug with ACT")
+    _add_diagnose_args(d)
+    _add_telemetry_args(d)
+
+    t = sub.add_parser(
+        "trace",
+        help="record a workload trace, or convert one between formats")
+    _add_trace_args(t)
+    _add_telemetry_args(t)
+
+    p = sub.add_parser(
+        "profile",
+        help="telemetry run profile of a bug diagnosis, or the "
+             "communication profile of workloads")
+    _add_profile_args(p)
+
+    c = sub.add_parser(
+        "corpus",
+        help="diagnosis accuracy over a generated ground-truth corpus")
+    _add_corpus_args(c)
+    _add_telemetry_args(c)
+
     e = sub.add_parser("experiment", help="regenerate a table/figure")
     e.add_argument("name", choices=experiment_names())
     e.add_argument("--preset", choices=("fast", "bench", "full"),
@@ -522,6 +424,68 @@ def build_parser():
                    help="worker processes for independent runs "
                         "(results identical to serial; 0 = all CPUs)")
     _add_telemetry_args(e)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the diagnosis service daemon on a local socket")
+    _add_socket_arg(sv)
+    sv.add_argument("--state", metavar="PATH",
+                    help="durable jobstore checkpoint: queued/running "
+                         "jobs survive a daemon kill and resume on "
+                         "restart (in-memory queue when omitted)")
+    sv.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="default worker processes for jobs that do not "
+                         "set their own (results identical to serial; "
+                         "0 = all CPUs)")
+    sv.add_argument("--warm-capacity", type=int, default=8, metavar="N",
+                    help="LRU capacity of the warm trained-state cache "
+                         "(default 8)")
+    sv.add_argument("--tick-clock", action="store_true",
+                    help="run per-job telemetry on the deterministic "
+                         "tick clock")
+
+    sb = sub.add_parser(
+        "submit",
+        help="submit a job to the serve daemon (options before the "
+             "job kind: repro submit --wait diagnose gzip)")
+    _add_socket_arg(sb)
+    sb.add_argument("--wait", action="store_true",
+                    help="block until the job finishes, print exactly "
+                         "what the cold command would have printed, and "
+                         "exit with its exit code")
+    sb.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                    help="--wait limit in seconds (default 600)")
+    sbsub = sb.add_subparsers(dest="kind", required=True,
+                              metavar="{diagnose,corpus,trace,profile}")
+    _add_diagnose_args(sbsub.add_parser("diagnose"))
+    _add_corpus_args(sbsub.add_parser("corpus"))
+    _add_trace_args(sbsub.add_parser("trace"))
+    _add_profile_args(sbsub.add_parser("profile"))
+
+    st = sub.add_parser("status",
+                        help="daemon status, or one job's status + "
+                             "telemetry profile")
+    st.add_argument("job", nargs="?", default=None,
+                    help="job id (daemon-wide status when omitted)")
+    _add_socket_arg(st)
+    st.add_argument("--out", metavar="PATH",
+                    help="write the full status reply (including the "
+                         "job's telemetry run profile) as JSON")
+
+    r = sub.add_parser("result",
+                       help="print a finished job's output and exit "
+                            "with its exit code")
+    r.add_argument("job", help="job id")
+    _add_socket_arg(r)
+    r.add_argument("--wait", action="store_true",
+                   help="block until the job finishes")
+    r.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                   help="--wait limit in seconds (default 600)")
+
+    sd = sub.add_parser("shutdown",
+                        help="ask the serve daemon to shut down "
+                             "gracefully")
+    _add_socket_arg(sd)
     return parser
 
 
@@ -543,10 +507,16 @@ def main(argv=None):
         "profile": _cmd_profile,
         "corpus": _cmd_corpus,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
+        "shutdown": _cmd_shutdown,
     }[args.command]
     telemetry_out = getattr(args, "telemetry", None)
     events_out = getattr(args, "events", None)
-    tick = getattr(args, "tick_clock", False) and args.command != "profile"
+    tick = (getattr(args, "tick_clock", False)
+            and args.command not in ("profile", "serve", "submit"))
     if not (telemetry_out or events_out or tick):
         return handler(args)
 

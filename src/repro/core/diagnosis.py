@@ -153,7 +153,8 @@ def diagnose_failure(program, config=None, trained=None,
                      failure_params=None, correct_params=None,
                      pruning_params=None, root_cause=None,
                      fast=True, jobs=None,
-                     faults=None, quarantine=None, checkpoint=None):
+                     faults=None, quarantine=None, checkpoint=None,
+                     trained_sink=None):
     """Diagnose ``program``'s failure with the full ACT pipeline.
 
     Args:
@@ -191,6 +192,10 @@ def diagnose_failure(program, config=None, trained=None,
         checkpoint: path (or open :class:`~repro.faults.Checkpoint`)
             for crash-resumable phase snapshots; a finished phase found
             there is reused instead of recomputed.
+        trained_sink: optional callable invoked with the
+            :class:`TrainedACT` once training state is in hand (freshly
+            trained or reloaded). The serve daemon's warm-state cache
+            hangs off this hook; it never changes the report.
 
     Returns:
         :class:`DiagnosisReport`.
@@ -214,14 +219,14 @@ def diagnose_failure(program, config=None, trained=None,
                 program, config, trained, tele, n_train_runs, train_seed0,
                 failure_seed, n_pruning_runs, pruning_seed0, failure_params,
                 correct_params, pruning_params, root_cause, fast, jobs,
-                quarantine, checkpoint)
+                quarantine, checkpoint, trained_sink)
 
 
 def _diagnose_phases(program, config, trained, tele, n_train_runs,
                      train_seed0, failure_seed, n_pruning_runs,
                      pruning_seed0, failure_params, correct_params,
                      pruning_params, root_cause, fast=True, jobs=None,
-                     quarantine=None, checkpoint=None):
+                     quarantine=None, checkpoint=None, trained_sink=None):
     if checkpoint is not None:
         cached = checkpoint.get("report")
         if cached is not None:
@@ -249,6 +254,8 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
                 return _aborted_report(program, e, quarantine)
             if checkpoint is not None:
                 checkpoint.put("trained", trained.to_payload())
+    if trained_sink is not None:
+        trained_sink(trained)
 
     # --- The production failure run ----------------------------------
     with tele.span("diagnose.failure_run", seed=failure_seed):

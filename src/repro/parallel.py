@@ -90,13 +90,37 @@ MAX_CHUNK = 8
 
 
 def resolve_jobs(jobs):
-    """Normalise a ``--jobs`` value: None/1 -> serial, <=0 -> cpu count."""
+    """Normalise a ``--jobs`` value: None/1 -> serial, <=0 -> cpu count.
+
+    This is the one shared "auto" resolution point: every caller
+    (CLI flags, ``REPRO_JOBS``, presets, the serve daemon) funnels its
+    raw value through here, and the resolved worker count is recorded
+    as the ``parallel.jobs_resolved`` gauge so run profiles say what
+    "0 = all CPUs" actually meant on this host.
+    """
     if jobs is None:
-        return 1
-    jobs = int(jobs)
-    if jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
+        resolved = 1
+    else:
+        jobs = int(jobs)
+        resolved = (os.cpu_count() or 1) if jobs <= 0 else jobs
+    tele = telemetry.get_registry()
+    if tele.enabled:
+        tele.set_gauge("parallel.jobs_resolved", resolved)
+    return resolved
+
+
+def jobs_from_env(default=None):
+    """The ``REPRO_JOBS`` environment override, unresolved.
+
+    Returns ``default`` when the variable is unset or empty. ``0``
+    means "auto" (all CPUs) exactly like ``--jobs 0`` -- the value is
+    passed through so :func:`resolve_jobs` stays the single place that
+    turns "auto" into a worker count.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or not raw.strip():
+        return default
+    return int(raw)
 
 
 def _noop(_x):
@@ -158,9 +182,24 @@ class PoolHandle:
             self._executor = None
             self._max_workers = 0
 
+    def close(self):
+        """Deterministic, pre-atexit teardown for long-lived owners.
+
+        Interpreter-exit teardown (the registered atexit hook) runs
+        *after* daemon signal handlers have already started unwinding,
+        which is too late for a server that must drain or checkpoint
+        running jobs first and *then* release its workers. Callers that
+        own the process lifecycle (the ``repro serve`` daemon) call
+        ``close()`` explicitly at the end of their graceful-shutdown
+        sequence; the atexit hook then finds nothing left to do.
+        Idempotent, and the pool may still be rebuilt afterwards by the
+        next :meth:`executor` call (a restarted serve loop stays warm).
+        """
+        self.shutdown()
+
 
 _POOL = PoolHandle()
-atexit.register(_POOL.shutdown)
+atexit.register(_POOL.close)
 
 
 def get_pool():

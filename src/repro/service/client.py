@@ -1,0 +1,87 @@
+"""Client helpers for the serve daemon's socket protocol.
+
+Thin wrappers over :func:`repro.service.protocol.request` -- each one
+builds the op message, performs the one-shot exchange, and converts a
+daemon-side error reply back into the matching exception
+(:class:`~repro.common.errors.JobNotFound` /
+:class:`~repro.common.errors.ProtocolError` /
+:class:`~repro.common.errors.ServiceError`). Used by the ``repro
+submit`` / ``status`` / ``result`` / ``shutdown`` CLI commands and by
+the daemon tests.
+"""
+
+import time
+
+from repro.common.errors import JobNotFound, ProtocolError, ServiceError
+from repro.service import ops
+from repro.service.jobstore import JOB_DONE, JOB_FAILED
+from repro.service.protocol import DEFAULT_TIMEOUT, request
+
+
+def _checked(reply, socket_path):
+    """Unwrap a reply, raising the daemon's error as an exception."""
+    if reply.get("ok"):
+        return reply
+    error = reply.get("error", "daemon reported an unspecified error")
+    error_type = reply.get("error_type")
+    if error_type == "JobNotFound":
+        raise JobNotFound(error)
+    if error_type == "ProtocolError":
+        raise ProtocolError(error)
+    raise ServiceError(error, socket_path=socket_path)
+
+
+def ping(socket_path, timeout=DEFAULT_TIMEOUT):
+    """Daemon liveness + identity: pid, version, resolved worker count."""
+    return _checked(request(socket_path, {"op": "ping"}, timeout=timeout),
+                    socket_path)
+
+
+def submit(socket_path, req, timeout=DEFAULT_TIMEOUT):
+    """Submit a request dataclass (or payload dict); returns the job row."""
+    payload = (req if isinstance(req, dict)
+               else ops.request_to_payload(req))
+    reply = _checked(
+        request(socket_path, {"op": "submit", "request": payload},
+                timeout=timeout), socket_path)
+    return reply["job"]
+
+
+def status(socket_path, job_id=None, timeout=DEFAULT_TIMEOUT):
+    """Daemon-wide status, or one job's status + telemetry profile."""
+    message = {"op": "status"}
+    if job_id is not None:
+        message["job"] = job_id
+    return _checked(request(socket_path, message, timeout=timeout),
+                    socket_path)
+
+
+def result(socket_path, job_id, timeout=DEFAULT_TIMEOUT):
+    """One job's summary and result (result is None while unfinished)."""
+    return _checked(
+        request(socket_path, {"op": "result", "job": job_id},
+                timeout=timeout), socket_path)
+
+
+def shutdown(socket_path, timeout=DEFAULT_TIMEOUT):
+    """Ask the daemon to shut down gracefully."""
+    return _checked(request(socket_path, {"op": "shutdown"},
+                            timeout=timeout), socket_path)
+
+
+def wait_for(socket_path, job_id, timeout=300.0, poll_interval=0.25):
+    """Poll until ``job_id`` finishes; returns its final result reply.
+
+    Raises :class:`ServiceError` when the job is still unfinished after
+    ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        reply = result(socket_path, job_id)
+        if reply["job"]["state"] in (JOB_DONE, JOB_FAILED):
+            return reply
+        if time.monotonic() >= deadline:
+            raise ServiceError(
+                f"job {job_id} still {reply['job']['state']!r} after "
+                f"{timeout:g}s", socket_path=socket_path)
+        time.sleep(poll_interval)

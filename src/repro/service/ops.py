@@ -1,0 +1,637 @@
+"""Service operations: the CLI command bodies as request/response data.
+
+Each pipeline-running command (``diagnose``, ``corpus``, ``trace``,
+``profile``) is a plain frozen request dataclass plus a ``run_*``
+function returning an :class:`Outcome` -- exit code, the exact text the
+CLI would have printed to stdout/stderr, and a JSON-safe result
+payload. The CLI builds a request from its parsed arguments and prints
+the outcome; the serve daemon builds the same request from a socket
+message and stores the outcome as the job result. Both therefore run
+*identical* code, which is what makes daemon round-trip output
+byte-identical to a cold CLI invocation (pinned by
+``tests/test_service.py``).
+
+Requests are JSON round-trippable (:func:`request_to_payload` /
+:func:`request_from_payload`) so they cross the socket and persist in
+the jobstore unchanged.
+
+:class:`WarmStateCache` is the daemon's LRU of trained state:
+:func:`run_diagnose` consults it keyed by (workload, training seeds,
+config fingerprint) and passes the cached :class:`TrainedACT` into
+:func:`~repro.core.diagnosis.diagnose_failure`, skipping offline
+retraining on a repeat diagnosis. Training is deterministic in the key,
+so a warm hit changes wall time and telemetry (``serve.warm_hits``, no
+``diagnose.offline_train`` span) but never the report.
+"""
+
+import os
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Optional, Tuple
+
+from repro import telemetry
+from repro.common.errors import (
+    CheckpointError,
+    ProtocolError,
+    ReproError,
+)
+from repro.core.config import ACTConfig
+from repro.core.diagnosis import diagnose_failure
+from repro.core.offline import TrainedACT
+from repro.faults import FaultPlan, Quarantine
+from repro.faults.checkpoint import canonical_json
+from repro.telemetry import (
+    TickClock,
+    format_critical_path,
+    format_flame,
+    format_profile,
+    is_event_stream,
+    profile_dict,
+    read_events_profile,
+    read_profile,
+    render_openmetrics,
+)
+from repro.telemetry import selfcost
+from repro.trace.trace_io import write_trace
+from repro.workloads.framework import run_program
+from repro.workloads.registry import (
+    all_bug_names,
+    all_kernel_names,
+    get_bug,
+    get_kernel,
+    get_workload,
+)
+
+
+@dataclass
+class Outcome:
+    """What one operation produced: exit code, exact CLI text, payload.
+
+    ``out``/``err`` hold the full stdout/stderr text (newline-joined,
+    no trailing newline; empty string = nothing printed). ``payload``
+    is a JSON-safe structured summary for service clients.
+    """
+
+    rc: int
+    out: str = ""
+    err: str = ""
+    payload: dict = field(default_factory=dict)
+
+
+def _fail(message):
+    """The CLI error shape: message on stderr, exit code 2."""
+    return Outcome(rc=2, err=message)
+
+
+# ---------------------------------------------------------------------
+# diagnose
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiagnoseRequest:
+    """``repro diagnose`` as data (defaults match the CLI flags)."""
+
+    bug: str
+    seed: int = 12345
+    train_runs: int = 10
+    pruning_runs: int = 20
+    seq_len: int = 5
+    debug_buffer: int = 60
+    threshold: float = 0.05
+    top: int = 5
+    jobs: Optional[int] = None
+    fast: bool = True
+    faults: Optional[str] = None
+    quarantine_report: Optional[str] = None
+    checkpoint: Optional[str] = None
+    resume: Optional[str] = None
+
+    kind = "diagnose"
+
+    @classmethod
+    def from_args(cls, args):
+        return cls(bug=args.bug, seed=args.seed,
+                   train_runs=args.train_runs,
+                   pruning_runs=args.pruning_runs, seq_len=args.seq_len,
+                   debug_buffer=args.debug_buffer,
+                   threshold=args.threshold, top=args.top, jobs=args.jobs,
+                   fast=args.fast, faults=args.faults,
+                   quarantine_report=args.quarantine_report,
+                   checkpoint=args.checkpoint, resume=args.resume)
+
+
+def _quarantine_lines(quarantine, report_path):
+    """The quarantine epilogue every pipeline command prints."""
+    lines = []
+    if len(quarantine):
+        lines.append(quarantine.summary())
+    if report_path:
+        quarantine.write_report(report_path)
+        lines.append(f"quarantine report written to {report_path}")
+    return lines
+
+
+def run_diagnose(req, warm=None):
+    """Run a full diagnosis; optionally reuse warm trained state."""
+    try:
+        program = get_bug(req.bug)
+    except ReproError as e:
+        return _fail(f"error: {e}")
+    config = ACTConfig(seq_len=req.seq_len,
+                      debug_buffer=req.debug_buffer,
+                      mispred_threshold=req.threshold)
+    checkpoint = req.checkpoint
+    if req.resume:
+        if not os.path.isfile(req.resume):
+            return _fail(f"error: checkpoint {req.resume!r} does not exist")
+        checkpoint = req.resume
+    plan = None
+    if req.faults:
+        try:
+            plan = FaultPlan.from_spec(req.faults)
+        except ReproError as e:
+            return _fail(f"error: bad --faults spec: {e}")
+    quarantine = None
+    if plan is not None or req.quarantine_report:
+        quarantine = Quarantine()
+
+    # Warm-state reuse: only when nothing perturbs training (a fault
+    # plan can damage training runs; a checkpoint already carries its
+    # own trained snapshot). The key holds everything that shapes the
+    # trained state -- failure/pruning seeds deliberately excluded.
+    trained = None
+    trained_sink = None
+    if warm is not None and plan is None and checkpoint is None:
+        key = warm.key(kind="diagnose", workload=req.bug,
+                       config=asdict(config), train_runs=req.train_runs,
+                       train_seed0=0)
+        payload = warm.get(key)
+        if payload is not None:
+            trained = TrainedACT.from_payload(payload, config)
+        else:
+            def trained_sink(t, _key=key):
+                warm.put(_key, t.to_payload())
+
+    try:
+        report = diagnose_failure(program, config=config, trained=trained,
+                                  n_train_runs=req.train_runs,
+                                  n_pruning_runs=req.pruning_runs,
+                                  failure_seed=req.seed,
+                                  fast=req.fast, jobs=req.jobs,
+                                  faults=plan, quarantine=quarantine,
+                                  checkpoint=checkpoint,
+                                  trained_sink=trained_sink)
+    except CheckpointError as e:
+        return _fail(f"error: {e}")
+    lines = [
+        f"program          : {report.program}",
+        f"failure          : {report.failure_description}",
+        f"deps observed    : {report.n_deps} "
+        f"({report.n_invalid} flagged invalid)",
+        f"debug buffer     : {report.n_debug_entries} entries"
+        f"{' (overflowed)' if report.debug_overflowed else ''}",
+        f"filtered         : {report.filter_pct:.0f}%",
+        f"root cause found : {report.found}"
+        + (f" at rank {report.rank}" if report.found else ""),
+    ]
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    for i, f in enumerate(report.top(req.top), start=1):
+        dep = f.mismatch_dep or f.seq[-1]
+        lines.append(
+            f"  #{i}: store {dep.store_pc:#x} -> load {dep.load_pc:#x} "
+            f"({'inter' if dep.inter_thread else 'intra'}-thread, "
+            f"matched {f.matched}, output {f.output:.3f})")
+    if quarantine is not None:
+        lines.extend(_quarantine_lines(quarantine, req.quarantine_report))
+    payload = {
+        "program": report.program,
+        "failed": report.failed,
+        "found": report.found,
+        "rank": report.rank,
+        "n_deps": report.n_deps,
+        "n_invalid": report.n_invalid,
+        "filter_pct": float(report.filter_pct),
+        "notes": list(report.notes),
+    }
+    return Outcome(rc=0 if report.found else 1, out="\n".join(lines),
+                   payload=payload)
+
+
+# ---------------------------------------------------------------------
+# corpus
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CorpusRequest:
+    """``repro corpus`` as data (defaults match the CLI flags)."""
+
+    seed: int = 7
+    size: int = 20
+    train_runs: int = 6
+    pruning_runs: int = 8
+    seq_len: int = 3
+    top: int = 5
+    jobs: Optional[int] = None
+    out: Optional[str] = None
+    trace_dir: Optional[str] = None
+    trace_format: str = "columnar"
+    faults: Optional[str] = None
+    quarantine_report: Optional[str] = None
+    checkpoint: Optional[str] = None
+    resume: Optional[str] = None
+
+    kind = "corpus"
+
+    @classmethod
+    def from_args(cls, args):
+        return cls(seed=args.seed, size=args.size,
+                   train_runs=args.train_runs,
+                   pruning_runs=args.pruning_runs, seq_len=args.seq_len,
+                   top=args.top, jobs=args.jobs, out=args.out,
+                   trace_dir=args.trace_dir,
+                   trace_format=args.trace_format, faults=args.faults,
+                   quarantine_report=args.quarantine_report,
+                   checkpoint=args.checkpoint, resume=args.resume)
+
+
+def run_corpus(req):
+    """Run the diagnosis-accuracy harness over a generated corpus."""
+    from repro.analysis.accuracy import (
+        CorpusSpec,
+        format_corpus,
+        metrics_json,
+        run_corpus,
+    )
+
+    if req.out:
+        out_dir = os.path.dirname(req.out)
+        if out_dir and not os.path.isdir(out_dir):
+            return _fail(f"error: output directory {out_dir!r} "
+                         "does not exist")
+    checkpoint = req.checkpoint
+    if req.resume:
+        if not os.path.isfile(req.resume):
+            return _fail(f"error: checkpoint {req.resume!r} does not exist")
+        checkpoint = req.resume
+    plan = None
+    if req.faults:
+        try:
+            plan = FaultPlan.from_spec(req.faults)
+        except ReproError as e:
+            return _fail(f"error: bad --faults spec: {e}")
+    quarantine = None
+    if plan is not None or req.quarantine_report:
+        quarantine = Quarantine()
+    spec = CorpusSpec(seed=req.seed, size=req.size, top_k=req.top,
+                      n_train_runs=req.train_runs,
+                      n_pruning_runs=req.pruning_runs,
+                      config=ACTConfig(seq_len=req.seq_len))
+    try:
+        result = run_corpus(spec, jobs=req.jobs, faults=plan,
+                            quarantine=quarantine, checkpoint=checkpoint)
+    except CheckpointError as e:
+        return _fail(f"error: {e}")
+    lines = [format_corpus(result)]
+    if req.out:
+        out_dir = os.path.dirname(req.out)
+        if out_dir and not os.path.isdir(out_dir):
+            return _fail(f"error: output directory {out_dir!r} "
+                         "does not exist")
+        with open(req.out, "w", encoding="utf-8") as f:
+            f.write(metrics_json(result))
+        lines.append(f"metrics written to {req.out}")
+    if req.trace_dir:
+        from repro.analysis.accuracy import write_corpus_traces
+
+        os.makedirs(req.trace_dir, exist_ok=True)
+        paths = write_corpus_traces(spec, req.trace_dir,
+                                    trace_format=req.trace_format)
+        lines.append(f"wrote {len(paths)} {req.trace_format} failure "
+                     f"traces to {req.trace_dir}")
+    if quarantine is not None:
+        lines.extend(_quarantine_lines(quarantine, req.quarantine_report))
+    return Outcome(rc=0, out="\n".join(lines),
+                   payload={"metrics": result.metrics})
+
+
+# ---------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """``repro trace`` as data (record a workload, or convert a file)."""
+
+    program: str
+    paths: Tuple[str, ...] = ()
+    seed: int = 0
+    out: str = "trace.jsonl"
+    trace_format: Optional[str] = None
+    verify: bool = False
+
+    kind = "trace"
+
+    @classmethod
+    def from_args(cls, args):
+        return cls(program=args.program, paths=tuple(args.paths),
+                   seed=args.seed, out=args.out,
+                   trace_format=args.trace_format, verify=args.verify)
+
+
+def _run_trace_convert(req):
+    """``trace convert IN OUT``: re-encode a trace file.
+
+    The output format is the *other* one by default (columnar input ->
+    JSON-lines output and vice versa); ``trace_format`` forces it.
+    ``verify`` reads both files back and diffs the decoded events.
+    """
+    from repro.trace import columnar, read_trace
+
+    if len(req.paths) != 2:
+        return _fail("error: trace convert needs exactly IN and OUT paths")
+    src, dst = req.paths
+    if not os.path.isfile(src):
+        return _fail(f"error: trace {src!r} does not exist")
+    out_dir = os.path.dirname(dst)
+    if out_dir and not os.path.isdir(out_dir):
+        return _fail(f"error: output directory {out_dir!r} does not exist")
+    try:
+        run = read_trace(src)
+    except ReproError as e:
+        return _fail(f"error: {e}")
+    fmt = req.trace_format
+    if fmt is None:
+        fmt = "jsonl" if columnar.is_columnar(src) else "columnar"
+    write_trace(run, dst, trace_format=fmt)
+    lines = [f"converted {src} -> {dst} ({fmt}, {len(run.events)} events)"]
+    if req.verify:
+        a = read_trace(src)
+        b = read_trace(dst)
+        same = (a.events == b.events and a.failed == b.failed
+                and a.n_threads == b.n_threads and a.seed == b.seed)
+        if not same:
+            return Outcome(rc=1, out="\n".join(lines),
+                           err="error: verify failed: decoded traces "
+                               "differ")
+        lines.append(f"verified: both files decode to {len(a.events)} "
+                     "identical events")
+    return Outcome(rc=0, out="\n".join(lines),
+                   payload={"format": fmt, "n_events": len(run.events)})
+
+
+def run_trace(req):
+    """Record a workload trace, or convert one between formats."""
+    if req.program == "convert":
+        return _run_trace_convert(req)
+    if req.paths:
+        return _fail("error: unexpected extra arguments "
+                     f"{' '.join(req.paths)!r} (paths are only for "
+                     "'trace convert')")
+    out_dir = os.path.dirname(req.out)
+    if out_dir and not os.path.isdir(out_dir):
+        return _fail(f"error: output directory {out_dir!r} does not exist")
+    try:
+        program = get_workload(req.program)
+    except ReproError as e:
+        return _fail(f"error: {e}")
+    run = run_program(program, seed=req.seed)
+    write_trace(run, req.out, trace_format=req.trace_format)
+    return Outcome(
+        rc=0,
+        out=f"wrote {len(run.events)} events "
+            f"({run.n_threads} threads, failed={run.failed}) to {req.out}",
+        payload={"n_events": len(run.events), "n_threads": run.n_threads,
+                 "failed": run.failed, "out": req.out})
+
+
+# ---------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProfileRequest:
+    """``repro profile`` as data (run profiles and saved-file renders)."""
+
+    programs: Tuple[str, ...] = ()
+    seed: int = 1
+    train_runs: int = 6
+    pruning_runs: int = 8
+    load: Optional[str] = None
+    flame: bool = False
+    critical_path: bool = False
+    openmetrics: bool = False
+    tick_clock: bool = False
+
+    kind = "profile"
+
+    @classmethod
+    def from_args(cls, args):
+        return cls(programs=tuple(args.programs), seed=args.seed,
+                   train_runs=args.train_runs,
+                   pruning_runs=args.pruning_runs, load=args.load,
+                   flame=args.flame, critical_path=args.critical_path,
+                   openmetrics=args.openmetrics,
+                   tick_clock=args.tick_clock)
+
+
+def _bug_run_profile(name, req):
+    """Diagnose ``name`` under a fresh registry; return the profile dict."""
+    program = get_bug(name)
+    registry = telemetry.Registry(
+        clock=TickClock() if req.tick_clock else None)
+    with telemetry.use_registry(registry):
+        report = diagnose_failure(program,
+                                  n_train_runs=req.train_runs,
+                                  n_pruning_runs=req.pruning_runs)
+    meta = {"program": name, "found": report.found}
+    if report.rank is not None:
+        meta["rank"] = report.rank
+    return profile_dict(
+        registry, meta=meta, self_overhead=True,
+        calibration=selfcost.PINNED_CALIBRATION if req.tick_clock else None)
+
+
+def _rendered_profile(profile, req, title=None):
+    """The requested views of ``profile`` as text chunks."""
+    chunks = []
+    if req.flame:
+        chunks.append(format_flame(profile.get("spans") or []))
+    if req.critical_path:
+        chunks.append(format_critical_path(profile.get("spans") or []))
+    if req.openmetrics:
+        chunks.append(render_openmetrics(profile))
+    if not chunks:
+        chunks.append(format_profile(profile, title=title))
+    return chunks
+
+
+def run_profile(req):
+    """Render run profiles (fresh diagnoses, kernels, or saved files)."""
+    if req.load:
+        if not os.path.isfile(req.load):
+            return _fail(f"error: profile {req.load!r} does not exist")
+        profile = (read_events_profile(req.load)
+                   if is_event_stream(req.load)
+                   else read_profile(req.load))
+        return Outcome(rc=0,
+                       out="\n".join(_rendered_profile(profile, req)))
+    from repro.workloads.generator import parse_generated_name
+
+    bug_names = set(all_bug_names())
+    names = list(req.programs) or all_kernel_names()
+    comm_profiles = []
+    chunks = []
+    for name in names:
+        if name in bug_names or parse_generated_name(name) is not None:
+            profile = _bug_run_profile(name, req)
+            if chunks:
+                chunks.append("")
+            chunks.extend(_rendered_profile(profile, req,
+                                            title=f"run profile: {name}"))
+        else:
+            from repro.sim.trace_stats import profile_run
+
+            program = get_kernel(name)
+            run = run_program(program, seed=req.seed)
+            comm_profiles.append(profile_run(run, name=name))
+    if comm_profiles:
+        from repro.sim.trace_stats import profile_table
+
+        if chunks:
+            chunks.append("")
+        chunks.append(profile_table(comm_profiles))
+    return Outcome(rc=0, out="\n".join(chunks))
+
+
+# ---------------------------------------------------------------------
+# request (de)serialisation and dispatch
+# ---------------------------------------------------------------------
+
+REQUEST_TYPES = {
+    "diagnose": DiagnoseRequest,
+    "corpus": CorpusRequest,
+    "trace": TraceRequest,
+    "profile": ProfileRequest,
+}
+
+_RUNNERS = {
+    "diagnose": run_diagnose,
+    "corpus": run_corpus,
+    "trace": run_trace,
+    "profile": run_profile,
+}
+
+
+def request_to_payload(req):
+    """JSON-safe wire/jobstore form of a request."""
+    return {"kind": req.kind, "args": asdict(req)}
+
+
+def request_from_payload(payload):
+    """Inverse of :func:`request_to_payload`; validates kind and fields."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"job request must be an object, "
+                            f"got {type(payload).__name__}")
+    kind = payload.get("kind")
+    cls = REQUEST_TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown job kind {kind!r} (expected one of "
+                            f"{sorted(REQUEST_TYPES)})")
+    args = payload.get("args")
+    if not isinstance(args, dict):
+        raise ProtocolError(f"job args must be an object, "
+                            f"got {type(args).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(args) - known)
+    if unknown:
+        raise ProtocolError(f"unknown {kind} request fields: {unknown}")
+    args = {key: (tuple(value) if isinstance(value, list) else value)
+            for key, value in args.items()}
+    try:
+        return cls(**args)
+    except TypeError as e:
+        raise ProtocolError(f"bad {kind} request: {e}")
+
+
+def run_request(req, warm=None, default_jobs=None):
+    """Dispatch any request to its runner.
+
+    ``default_jobs`` fills an unset ``jobs`` field (the daemon's
+    ``--jobs``); parallelism never changes results, so this only
+    affects wall time. ``warm`` is the daemon's
+    :class:`WarmStateCache` (diagnose only).
+    """
+    if (default_jobs is not None and hasattr(req, "jobs")
+            and req.jobs is None):
+        req = replace(req, jobs=default_jobs)
+    if req.kind == "diagnose":
+        return run_diagnose(req, warm=warm)
+    return _RUNNERS[req.kind](req)
+
+
+# ---------------------------------------------------------------------
+# warm-state cache
+# ---------------------------------------------------------------------
+
+class WarmStateCache:
+    """LRU cache of trained state (:meth:`TrainedACT.to_payload` dicts).
+
+    Keys are the canonical JSON of everything that shapes training:
+    workload name, training seed range, config fingerprint. The daemon
+    keeps one instance for its whole life, so a repeat diagnosis of the
+    same (workload, seeds, config) skips offline retraining entirely --
+    observable as ``serve.warm_hits`` in the job's telemetry profile
+    and as the absence of a ``diagnose.offline_train`` span, never as a
+    different report (training is deterministic in the key).
+    """
+
+    def __init__(self, capacity=8):
+        if capacity < 1:
+            raise ReproError(f"warm cache capacity must be >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(**parts):
+        """Canonical cache key from keyword identity parts."""
+        return canonical_json(parts)
+
+    def get(self, key):
+        """Cached payload for ``key`` (None on miss); counts the lookup."""
+        tele = telemetry.get_registry()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            tele.inc("serve.warm_misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        tele.inc("serve.warm_hits")
+        return entry
+
+    def put(self, key, payload):
+        """Insert/refresh ``key``; evicts least-recently-used beyond
+        capacity."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            telemetry.get_registry().inc("serve.warm_evictions")
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def stats(self):
+        """JSON-safe cache statistics (part of the daemon status)."""
+        return {"size": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

@@ -1,0 +1,125 @@
+"""JSON-lines message protocol over a local UNIX socket.
+
+One message is one JSON object on one ``\\n``-terminated line, UTF-8
+encoded. Clients are one-shot: connect, send a single request object,
+read a single response object, close. Requests carry an ``op`` field
+(``ping`` / ``submit`` / ``status`` / ``result`` / ``shutdown``);
+responses carry ``ok`` (bool) plus op-specific fields, or
+``ok: false`` with ``error`` and the exception class name in
+``error_type``. Malformed frames raise
+:class:`~repro.common.errors.ProtocolError` carrying the offending
+bytes.
+
+The framing is deliberately minimal -- newline-delimited JSON over
+``AF_UNIX`` needs no length prefixes, no content negotiation, and is
+trivially driven by hand (``nc -U``) when debugging a stuck daemon.
+``MAX_FRAME`` bounds a single message so a corrupt peer cannot make the
+reader buffer without limit; job results (full CLI output plus the
+telemetry profile) fit comfortably.
+"""
+
+import json
+import socket
+
+from repro.common.errors import ProtocolError, ServiceError
+
+#: Upper bound on one frame's bytes (newline included). Large enough
+#: for any job result payload, small enough to cap a runaway peer.
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Default client-side socket timeout (seconds). Connect/read beyond
+#: this raises ServiceError; job *completion* waits belong in
+#: :func:`repro.service.client.wait_for`, not in socket timeouts.
+DEFAULT_TIMEOUT = 30.0
+
+
+def encode_message(payload):
+    """One wire frame: compact JSON + newline, UTF-8 bytes."""
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the {MAX_FRAME}-byte "
+            "frame limit")
+    return data
+
+
+def write_message(sock, payload):
+    """Send one message on a connected socket."""
+    sock.sendall(encode_message(payload))
+
+
+def read_message(sock):
+    """Read one newline-terminated JSON message from a socket.
+
+    Raises :class:`ProtocolError` on EOF before a complete line, on a
+    frame exceeding :data:`MAX_FRAME`, and on invalid JSON or a
+    non-object payload.
+    """
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            if total == 0:
+                raise ProtocolError("connection closed before any data")
+            raise ProtocolError(
+                "connection closed mid-frame",
+                frame=b"".join(chunks)[:200].decode("utf-8", "replace"))
+        chunks.append(chunk)
+        total += len(chunk)
+        if total > MAX_FRAME:
+            raise ProtocolError(
+                f"frame exceeds the {MAX_FRAME}-byte limit")
+        if b"\n" in chunk:
+            break
+    line = b"".join(chunks).split(b"\n", 1)[0]
+    return decode_frame(line)
+
+
+def decode_frame(line):
+    """Parse one frame's bytes (no trailing newline) into a dict."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ProtocolError(
+            f"bad frame: {e}",
+            frame=line[:200].decode("utf-8", "replace"))
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}",
+            frame=line[:200].decode("utf-8", "replace"))
+    return payload
+
+
+def request(socket_path, payload, timeout=DEFAULT_TIMEOUT):
+    """One-shot client exchange: connect, send ``payload``, read reply.
+
+    Raises :class:`ServiceError` when the daemon is unreachable (no
+    socket, connection refused, timeout) and :class:`ProtocolError` on
+    a malformed reply. A reply with ``ok: false`` is returned as-is --
+    interpreting daemon-side errors is the caller's job.
+    """
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.settimeout(timeout)
+        try:
+            sock.connect(socket_path)
+        except OSError as e:
+            raise ServiceError(
+                f"cannot reach daemon at {socket_path!r}: {e}",
+                socket_path=socket_path)
+        try:
+            write_message(sock, payload)
+            sock.shutdown(socket.SHUT_WR)
+            return read_message(sock)
+        except socket.timeout:
+            raise ServiceError(
+                f"daemon at {socket_path!r} did not reply within "
+                f"{timeout:g}s", socket_path=socket_path)
+        except OSError as e:
+            raise ServiceError(
+                f"i/o error talking to daemon at {socket_path!r}: {e}",
+                socket_path=socket_path)
+    finally:
+        sock.close()

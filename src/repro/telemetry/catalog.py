@@ -94,6 +94,18 @@ CATALOG = (
                "task re-executions after a worker death"),
     MetricSpec("parallel.pool_restarts", COUNTER, "repro.parallel",
                "process pools rebuilt after a genuine worker crash"),
+    MetricSpec("parallel.jobs_resolved", GAUGE, "repro.parallel",
+               "worker count the most recent --jobs/REPRO_JOBS value "
+               "resolved to (0 = auto = all CPUs)"),
+    # -- diagnosis service (repro.service) -----------------------------
+    MetricSpec("serve.warm_hits", COUNTER, "repro.service",
+               "diagnose jobs that reused warm trained state (offline "
+               "retraining skipped)"),
+    MetricSpec("serve.warm_misses", COUNTER, "repro.service",
+               "diagnose jobs that trained cold and populated the "
+               "warm-state cache"),
+    MetricSpec("serve.warm_evictions", COUNTER, "repro.service",
+               "warm-state cache entries evicted by the LRU bound"),
     # -- fault injection & resilience (repro.faults) -------------------
     MetricSpec("faults.trace_drops", COUNTER, "trace.trace_io",
                "trace records dropped by the active fault plan"),

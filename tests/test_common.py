@@ -10,7 +10,10 @@ from repro.common.errors import (
     CheckpointError,
     ConfigError,
     FaultInjected,
+    JobNotFound,
+    ProtocolError,
     ReproError,
+    ServiceError,
     SimulatedFailure,
     TraceError,
     WorkerKilled,
@@ -79,6 +82,10 @@ _ERROR_SAMPLES = [
       "key": (7, 2)}),
     (CheckpointError("corrupt", path="/tmp/ck.json"),
      {"path": "/tmp/ck.json"}),
+    (ServiceError("daemon unreachable", socket_path="/tmp/repro.sock"),
+     {"socket_path": "/tmp/repro.sock"}),
+    (JobNotFound("no such job", job_id="j42"), {"job_id": "j42"}),
+    (ProtocolError("bad frame", frame="{oops"), {"frame": "{oops"}),
 ]
 
 
