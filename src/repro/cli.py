@@ -58,6 +58,7 @@ from repro import __version__, telemetry
 from repro.analysis.experiments import experiment_names, run_experiment
 from repro.common.errors import ReproError
 from repro.service import ops
+from repro.service.jobstore import DEFAULT_HISTORY_LIMIT
 from repro.telemetry import FlightRecorder, TickClock, profile_dict
 from repro.telemetry import selfcost
 from repro.workloads.registry import all_bug_names, all_kernel_names
@@ -123,7 +124,8 @@ def _cmd_serve(args):
     try:
         server = Server(args.socket, state_path=args.state, jobs=args.jobs,
                         warm_capacity=args.warm_capacity,
-                        tick_clock=args.tick_clock)
+                        tick_clock=args.tick_clock,
+                        history_limit=args.history)
     except ReproError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -190,11 +192,19 @@ def _cmd_status(args):
         counts = reply["counts"]
         warm = reply["warm"]
         print(f"daemon pid {reply['pid']} (repro {reply['version']})")
+        pruned = counts.get("pruned", 0)
         print(f"jobs: {counts['queued']} queued, {counts['running']} "
-              f"running, {counts['done']} done, {counts['failed']} failed")
+              f"running, {counts['done']} done, {counts['failed']} failed"
+              + (f", {pruned} pruned" if pruned else ""))
         print(f"warm cache: {warm['size']}/{warm['capacity']} entries, "
               f"{warm['hits']} hits, {warm['misses']} misses, "
               f"{warm['evictions']} evictions")
+        scheduler = reply.get("scheduler") or {}
+        if scheduler.get("errors") or not scheduler.get("alive", True):
+            state = "alive" if scheduler.get("alive") else "DEAD"
+            print(f"scheduler: {state}, {scheduler.get('errors', 0)} "
+                  f"errors (last: {scheduler.get('last_error')})",
+                  file=sys.stderr)
         for job in reply["jobs"]:
             print(_format_job_row(job))
     if args.out:
@@ -440,6 +450,10 @@ def build_parser():
     sv.add_argument("--warm-capacity", type=int, default=8, metavar="N",
                     help="LRU capacity of the warm trained-state cache "
                          "(default 8)")
+    sv.add_argument("--history", type=int,
+                    default=DEFAULT_HISTORY_LIMIT, metavar="N",
+                    help="finished jobs retained (oldest pruned beyond "
+                         f"this, >= 1; default {DEFAULT_HISTORY_LIMIT})")
     sv.add_argument("--tick-clock", action="store_true",
                     help="run per-job telemetry on the deterministic "
                          "tick clock")

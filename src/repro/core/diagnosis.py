@@ -38,6 +38,11 @@ from repro.faults import Checkpoint
 from repro.parallel import resolve_jobs
 from repro.workloads.framework import run_program
 
+#: First seed of the contiguous training-run range. Shared with callers
+#: that key caches on trained state (e.g. the serve daemon's warm-state
+#: cache) so the cache key can never drift from the actual default.
+DEFAULT_TRAIN_SEED0 = 0
+
 
 @dataclass
 class DiagnosisReport:
@@ -147,7 +152,7 @@ def _aborted_report(program, error, quarantine):
 
 
 def diagnose_failure(program, config=None, trained=None,
-                     n_train_runs=10, train_seed0=0,
+                     n_train_runs=10, train_seed0=DEFAULT_TRAIN_SEED0,
                      failure_seed=12345,
                      n_pruning_runs=20, pruning_seed0=100,
                      failure_params=None, correct_params=None,

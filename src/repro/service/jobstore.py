@@ -12,13 +12,22 @@ produced.
 Job ids are ``j1``, ``j2``, ... in submission order; the queue is
 strictly FIFO. The store is daemon-private: the daemon is the only
 writer, clients only ever see jobs through the socket protocol.
+
+Retention: finished (``done``/``failed``) jobs are kept up to
+``history_limit`` (default :data:`DEFAULT_HISTORY_LIMIT`); beyond
+that the *oldest* finished jobs are pruned -- dropped from memory and
+from the persisted form, so a long-lived daemon neither grows without
+bound nor pays O(total-history) serialisation per transition. Queued
+and running jobs are never pruned. A pruned job id answers
+:class:`JobNotFound`; the count of pruned jobs survives in the
+checkpoint (``pruned``), as does the id counter, so ids never recycle.
 """
 
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.common.errors import JobNotFound
+from repro.common.errors import JobNotFound, ReproError
 from repro.faults.checkpoint import Checkpoint
 
 JOB_QUEUED = "queued"
@@ -31,6 +40,12 @@ JOB_FAILED = "failed"
 #: particular job mix.
 STORE_KIND = "jobstore"
 STORE_FINGERPRINT = {"store": "repro.service.jobstore", "v": 1}
+
+#: Finished jobs retained before the oldest are pruned. Generous enough
+#: that a client polling ``wait_for`` never loses the job it is
+#: watching under any sane submit rate; small enough that the daemon's
+#: memory and per-transition checkpoint writes stay bounded.
+DEFAULT_HISTORY_LIMIT = 256
 
 
 @dataclass
@@ -78,13 +93,22 @@ class JobStore:
 
     Pass ``path=None`` for a purely in-memory store (tests, throwaway
     daemons); every mutation is then just not persisted.
+    ``history_limit`` caps retained finished jobs (``None`` =
+    unlimited; must be >= 1 otherwise, since a client must be able to
+    read back the result of the job it just watched finish).
     """
 
-    def __init__(self, path=None, clock=time.time):
+    def __init__(self, path=None, clock=time.time,
+                 history_limit=DEFAULT_HISTORY_LIMIT):
+        if history_limit is not None and history_limit < 1:
+            raise ReproError(f"history limit must be >= 1 (or None for "
+                             f"unlimited), got {history_limit}")
         self._clock = clock
+        self._history_limit = history_limit
         self._jobs = {}
         self._order = []
         self._next_id = 1
+        self.pruned = 0
         self._checkpoint = None
         if path is not None:
             self._checkpoint = Checkpoint.open(path, STORE_KIND,
@@ -95,6 +119,9 @@ class JobStore:
 
     def _restore(self):
         """Rebuild from the checkpoint; requeue jobs found running."""
+        meta = self._checkpoint.phases.get("meta") or {}
+        self.pruned = int(meta.get("pruned", 0))
+        self._next_id = max(self._next_id, int(meta.get("next_id", 1)))
         stored = self._checkpoint.phases.get("jobs")
         if not stored:
             return
@@ -116,7 +143,22 @@ class JobStore:
         if self._checkpoint is None:
             return
         self._checkpoint.put(
+            "meta", {"next_id": self._next_id, "pruned": self.pruned},
+            save=False)
+        self._checkpoint.put(
             "jobs", [self._jobs[jid].to_payload() for jid in self._order])
+
+    def _prune(self):
+        """Drop the oldest finished jobs beyond the history limit."""
+        if self._history_limit is None:
+            return
+        finished = [jid for jid in self._order
+                    if self._jobs[jid].state in (JOB_DONE, JOB_FAILED)]
+        excess = len(finished) - self._history_limit
+        for jid in finished[:max(0, excess)]:
+            del self._jobs[jid]
+            self._order.remove(jid)
+            self.pruned += 1
 
     @property
     def path(self):
@@ -169,6 +211,7 @@ class JobStore:
         job.result = {"rc": outcome.rc, "out": outcome.out,
                       "err": outcome.err, "payload": outcome.payload}
         job.profile = profile
+        self._prune()
         self._persist()
         return job
 
@@ -178,6 +221,7 @@ class JobStore:
         job.state = JOB_FAILED
         job.finished_at = self._clock()
         job.result = {"rc": 2, "out": "", "err": message, "payload": {}}
+        self._prune()
         self._persist()
         return job
 
@@ -188,10 +232,11 @@ class JobStore:
         return [self._jobs[jid] for jid in self._order]
 
     def counts(self):
-        """State -> count summary."""
+        """State -> count summary (plus pruned finished jobs)."""
         out = {JOB_QUEUED: 0, JOB_RUNNING: 0, JOB_DONE: 0, JOB_FAILED: 0}
         for job in self._jobs.values():
             out[job.state] = out.get(job.state, 0) + 1
+        out["pruned"] = self.pruned
         return out
 
     def __len__(self):

@@ -36,7 +36,7 @@ from repro.common.errors import (
     ReproError,
 )
 from repro.core.config import ACTConfig
-from repro.core.diagnosis import diagnose_failure
+from repro.core.diagnosis import DEFAULT_TRAIN_SEED0, diagnose_failure
 from repro.core.offline import TrainedACT
 from repro.faults import FaultPlan, Quarantine
 from repro.faults.checkpoint import canonical_json
@@ -164,7 +164,7 @@ def run_diagnose(req, warm=None):
     if warm is not None and plan is None and checkpoint is None:
         key = warm.key(kind="diagnose", workload=req.bug,
                        config=asdict(config), train_runs=req.train_runs,
-                       train_seed0=0)
+                       train_seed0=DEFAULT_TRAIN_SEED0)
         payload = warm.get(key)
         if payload is not None:
             trained = TrainedACT.from_payload(payload, config)

@@ -33,13 +33,21 @@ the same state file requeues whatever was running (see
 import os
 import signal
 import socket
+import stat
+import sys
 import threading
+import traceback
 
 from repro import __version__, telemetry
 from repro.common.errors import JobNotFound, ProtocolError, ReproError
 from repro.parallel import get_pool, resolve_jobs
 from repro.service import ops
-from repro.service.jobstore import JOB_DONE, JOB_FAILED, JobStore
+from repro.service.jobstore import (
+    DEFAULT_HISTORY_LIMIT,
+    JOB_DONE,
+    JOB_FAILED,
+    JobStore,
+)
 from repro.service.protocol import read_message, write_message
 from repro.telemetry import TickClock, profile_dict
 from repro.telemetry import selfcost
@@ -48,16 +56,22 @@ from repro.telemetry import selfcost
 #: checked while waiting for connections.
 POLL_INTERVAL = 0.2
 
+#: Per-connection socket timeout (seconds). A client that connects and
+#: then stalls (or someone typing into ``nc -U`` slower than this) gets
+#: its connection dropped -- never the daemon.
+CONN_TIMEOUT = 5.0
+
 
 class Server:
     """The diagnosis service daemon. ``run()`` blocks until shutdown."""
 
     def __init__(self, socket_path, state_path=None, jobs=None,
-                 warm_capacity=8, tick_clock=False):
+                 warm_capacity=8, tick_clock=False,
+                 history_limit=DEFAULT_HISTORY_LIMIT):
         self.socket_path = socket_path
         self.jobs = jobs
         self.tick_clock = tick_clock
-        self.store = JobStore(state_path)
+        self.store = JobStore(state_path, history_limit=history_limit)
         self.warm = ops.WarmStateCache(capacity=warm_capacity)
         self._stop = threading.Event()
         self._wake = threading.Event()
@@ -65,11 +79,22 @@ class Server:
         self._active = None        # (job_id, Registry) while running
         self._listener = None
         self._scheduler = None
+        self.scheduler_errors = 0        # unexpected scheduler exceptions
+        self.last_scheduler_error = None
 
     # -- lifecycle -----------------------------------------------------
 
     def _bind(self):
         if os.path.exists(self.socket_path):
+            try:
+                is_sock = stat.S_ISSOCK(os.stat(self.socket_path).st_mode)
+            except OSError:
+                is_sock = True  # vanished underneath us; bind decides
+            if not is_sock:
+                raise ReproError(
+                    f"{self.socket_path!r} exists and is not a socket; "
+                    "refusing to delete it (pass a different --socket "
+                    "path)")
             # A stale socket from a killed daemon refuses rebinding;
             # probe it and only steal the path if nobody answers.
             probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -117,6 +142,8 @@ class Server:
                     break
                 try:
                     self._handle_connection(conn)
+                except Exception:  # noqa: BLE001 - one bad client, not us
+                    traceback.print_exc(file=sys.stderr)
                 finally:
                     conn.close()
         finally:
@@ -141,21 +168,41 @@ class Server:
         # Workers go last: after the drain, before interpreter atexit.
         get_pool().close()
         counts = self.store.counts()
-        return counts[JOB_DONE] + counts[JOB_FAILED]
+        return (counts[JOB_DONE] + counts[JOB_FAILED]
+                + counts.get("pruned", 0))
 
     # -- scheduler -----------------------------------------------------
 
     def _schedule_loop(self):
+        """Drain the queue. This thread must never die: every step is
+        guarded, and anything unexpected (including persistence
+        failures -- disk full, checkpoint write errors) is counted and
+        surfaced through ``status`` instead of silently killing job
+        execution while the accept loop keeps taking submits."""
         while not self._stop.is_set():
-            with self._lock:
-                job = self.store.next_queued()
-                if job is not None:
-                    self.store.mark_running(job.id)
+            job = None
+            try:
+                with self._lock:
+                    job = self.store.next_queued()
+                    if job is not None:
+                        self.store.mark_running(job.id)
+            except Exception:  # noqa: BLE001 - keep scheduling
+                self._note_scheduler_error("marking job running")
             if job is None:
                 self._wake.wait(POLL_INTERVAL)
                 self._wake.clear()
                 continue
             self._run_job(job)
+
+    def _note_scheduler_error(self, context):
+        """Record an unexpected scheduler exception (keeps the thread)."""
+        err = traceback.format_exc()
+        with self._lock:
+            self.scheduler_errors += 1
+            self.last_scheduler_error = (
+                f"{context}: {err.strip().splitlines()[-1]}")
+        print(f"repro serve: scheduler error while {context}:\n{err}",
+              file=sys.stderr)
 
     def _run_job(self, job):
         """Execute one job under a fresh per-job telemetry registry."""
@@ -163,6 +210,7 @@ class Server:
             clock=TickClock() if self.tick_clock else None)
         with self._lock:
             self._active = (job.id, registry)
+        outcome = profile = error = None
         try:
             req = ops.request_from_payload(job.request)
             with telemetry.use_registry(registry):
@@ -170,12 +218,21 @@ class Server:
                     outcome = ops.run_request(req, warm=self.warm,
                                               default_jobs=self.jobs)
             profile = self._profile(registry, job)
-            with self._lock:
-                self.store.finish(job.id, outcome, profile=profile)
-                self._active = None
         except Exception as e:  # noqa: BLE001 - job failure, not daemon death
+            error = f"error: {e}"
+        # Recording the end transitions the store *and* persists it;
+        # either can fail (disk full, checkpoint errors) and must not
+        # take the scheduler thread down with it.
+        try:
             with self._lock:
-                self.store.fail(job.id, f"error: {e}")
+                if error is None:
+                    self.store.finish(job.id, outcome, profile=profile)
+                else:
+                    self.store.fail(job.id, error)
+        except Exception:  # noqa: BLE001 - persistence failed, keep going
+            self._note_scheduler_error(f"recording end of job {job.id}")
+        finally:
+            with self._lock:
                 self._active = None
 
     def _profile(self, registry, job):
@@ -201,12 +258,16 @@ class Server:
     # -- protocol ------------------------------------------------------
 
     def _handle_connection(self, conn):
-        conn.settimeout(5.0)
+        conn.settimeout(CONN_TIMEOUT)
         try:
             message = read_message(conn)
         except ProtocolError as e:
             self._reply(conn, {"ok": False, "error": str(e),
                                "error_type": "ProtocolError"})
+            return
+        except OSError:
+            # Slow or vanished client (recv timeout, reset mid-frame):
+            # drop the connection, never the daemon.
             return
         try:
             reply = self._dispatch(message)
@@ -243,9 +304,16 @@ class Server:
                 with self._lock:
                     jobs = [j.summary() for j in self.store.jobs()]
                     counts = self.store.counts()
+                    scheduler = {
+                        "alive": (self._scheduler is not None
+                                  and self._scheduler.is_alive()),
+                        "errors": self.scheduler_errors,
+                        "last_error": self.last_scheduler_error,
+                    }
                 return {"ok": True, "pid": os.getpid(),
                         "version": __version__, "counts": counts,
-                        "warm": self.warm.stats(), "jobs": jobs}
+                        "warm": self.warm.stats(),
+                        "scheduler": scheduler, "jobs": jobs}
             with self._lock:
                 job = self.store.get(job_id)
                 summary = job.summary()

@@ -236,6 +236,58 @@ class TestJobStore:
         assert got.profile == {"counters": {}}
         assert reloaded.next_queued() is None
 
+    def test_finished_history_is_pruned(self, tmp_path):
+        path = str(tmp_path / "jobs.json")
+        store = JobStore(path, history_limit=2)
+        ids = []
+        for i in range(4):
+            job = store.submit(_req_payload())
+            store.mark_running(job.id)
+            store.finish(job.id, ops.Outcome(rc=0, out=f"r{i}"))
+            ids.append(job.id)
+        assert len(store) == 2
+        assert store.pruned == 2
+        assert store.counts()["pruned"] == 2
+        with pytest.raises(JobNotFound):
+            store.get(ids[0])
+        assert store.get(ids[3]).result["out"] == "r3"
+        # Pruning persists: the count and the id counter both survive a
+        # reload, so ids never recycle even if every job was pruned.
+        reloaded = JobStore(path, history_limit=2)
+        assert reloaded.pruned == 2
+        assert len(reloaded) == 2
+        assert reloaded.submit(_req_payload()).id == "j5"
+
+    def test_under_limit_prunes_nothing(self):
+        # Fewer finished jobs than the limit: the excess is negative
+        # and must not turn into a Python negative slice that prunes.
+        store = JobStore(history_limit=3)
+        for _ in range(2):
+            job = store.submit(_req_payload())
+            store.mark_running(job.id)
+            store.finish(job.id, ops.Outcome(rc=0))
+            assert store.pruned == 0
+        assert len(store) == 2
+
+    def test_queued_and_running_never_pruned(self):
+        store = JobStore(history_limit=1)
+        queued = store.submit(_req_payload())
+        running = store.submit(_req_payload())
+        store.mark_running(running.id)
+        for _ in range(3):
+            job = store.submit(_req_payload())
+            store.mark_running(job.id)
+            store.finish(job.id, ops.Outcome(rc=0))
+        assert store.get(queued.id).state == JOB_QUEUED
+        assert store.get(running.id).state == JOB_RUNNING
+        states = [j.state for j in store.jobs()]
+        assert states.count(JOB_DONE) == 1  # newest kept, older pruned
+        assert store.pruned == 2
+
+    def test_history_limit_must_allow_reading_results(self):
+        with pytest.raises(ReproError):
+            JobStore(history_limit=0)
+
     def test_running_jobs_requeued_on_load(self, tmp_path):
         path = str(tmp_path / "jobs.json")
         store = JobStore(path)
@@ -297,6 +349,21 @@ class TestWarmStateCache:
         req = ops.DiagnoseRequest(bug="gzip", faults="seed=3", **FAST_KW)
         ops.run_diagnose(req, warm=cache)
         assert cache.hits == cache.misses == len(cache) == 0
+
+    def test_warm_key_tracks_diagnose_default_train_seed(self):
+        # The warm key must derive its training seed from the same
+        # constant diagnose_failure defaults to -- a drift between the
+        # two would serve trained state from the wrong seed silently.
+        import inspect
+
+        from repro.core.diagnosis import (
+            DEFAULT_TRAIN_SEED0,
+            diagnose_failure,
+        )
+
+        sig = inspect.signature(diagnose_failure)
+        assert (sig.parameters["train_seed0"].default
+                == DEFAULT_TRAIN_SEED0)
 
 
 # ---------------------------------------------------------------------
@@ -472,6 +539,69 @@ class TestDaemonRoundTrip:
             assert reply["result"]["rc"] == 2
             # The daemon is still alive and serving.
             assert client.ping(d.socket_path)["ok"]
+
+
+class TestDaemonRobustness:
+    def test_idle_or_dying_client_does_not_kill_daemon(self, monkeypatch):
+        from repro.service import server as server_mod
+
+        monkeypatch.setattr(server_mod, "CONN_TIMEOUT", 0.2)
+        with _Daemon() as d:
+            # A client that connects and sends nothing: its recv times
+            # out daemon-side and only the connection is dropped.
+            idle = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            idle.connect(d.socket_path)
+            time.sleep(0.6)  # well past the per-connection timeout
+            assert client.ping(d.socket_path)["ok"]
+            idle.close()
+            # A client that dies mid-frame is equally harmless.
+            half = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            half.connect(d.socket_path)
+            half.sendall(b'{"op": ')
+            half.close()
+            assert client.ping(d.socket_path)["ok"]
+
+    def test_store_failure_surfaces_and_scheduler_survives(
+            self, tmp_path):
+        with _Daemon() as d:
+            original = d.server.store.finish
+
+            def boom(*_args, **_kwargs):
+                raise OSError("disk full")
+
+            d.server.store.finish = boom
+            client.submit(
+                d.socket_path,
+                ops.TraceRequest(program="lu",
+                                 out=str(tmp_path / "t1.jsonl")))
+            deadline = time.monotonic() + 60
+            while (client.status(d.socket_path)["scheduler"]["errors"]
+                   == 0):
+                assert time.monotonic() < deadline, \
+                    "scheduler error never surfaced"
+                time.sleep(0.05)
+            d.server.store.finish = original
+            status = client.status(d.socket_path)
+            assert status["scheduler"]["alive"]
+            assert "disk full" in status["scheduler"]["last_error"]
+            # The scheduler thread survived: the next job completes.
+            job = client.submit(
+                d.socket_path,
+                ops.TraceRequest(program="lu",
+                                 out=str(tmp_path / "t2.jsonl")))
+            reply = client.wait_for(d.socket_path, job["id"], timeout=60)
+            assert reply["job"]["state"] == JOB_DONE
+
+    def test_bind_refuses_non_socket_path(self):
+        # A typo'd --socket pointing at a real file must not delete it.
+        path = os.path.join(_short_dir(), "not-a-socket")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("precious data")
+        server = Server(path)
+        with pytest.raises(ReproError, match="not a socket"):
+            server.run(install_signal_handlers=False)
+        with open(path, encoding="utf-8") as f:
+            assert f.read() == "precious data"
 
 
 def _span_names(profile):
