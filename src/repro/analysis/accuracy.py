@@ -64,6 +64,10 @@ class CorpusSpec:
     n_train_runs: int = 6
     n_pruning_runs: int = 8
     failure_seed: int = 12345
+    #: registered engine name (see :mod:`repro.engines`); "nn" is the
+    #: historical default and is elided from the fingerprint so golden
+    #: metrics files predating the registry stay byte-identical.
+    engine: str = "nn"
     # Generated programs are deliberately small; N=3 keeps every
     # archetype trainable (the paper likewise picks per-program N).
     config: ACTConfig = field(
@@ -73,6 +77,8 @@ class CorpusSpec:
         """Checkpoint identity: the spec, JSON-safe."""
         doc = asdict(self)
         doc["archetypes"] = list(self.archetypes)
+        if doc["engine"] == "nn":
+            del doc["engine"]
         return doc
 
 
@@ -110,13 +116,21 @@ def _diagnose_item(payload):
         program, config=spec.config,
         n_train_runs=spec.n_train_runs,
         n_pruning_runs=spec.n_pruning_runs,
-        failure_seed=spec.failure_seed)
+        failure_seed=spec.failure_seed,
+        engine=spec.engine if spec.engine != "nn" else None)
     root = report.root_cause or set()
-    considered = report.findings[:spec.top_k]
-    hits = [
-        1 if any((d.store_pc, d.load_pc) in root
-                 for d in f.seq[f.matched:]) else 0
-        for f in considered]
+    if report.candidates:
+        # Engine-native reports rank candidates, not NN findings.
+        hits = [1 if c["hit"] else 0
+                for c in report.candidates[:spec.top_k]]
+        n_findings = len(report.candidates)
+    else:
+        considered = report.findings[:spec.top_k]
+        hits = [
+            1 if any((d.store_pc, d.load_pc) in root
+                     for d in f.seq[f.matched:]) else 0
+            for f in considered]
+        n_findings = len(report.findings)
     return {
         "program": program_spec.name,
         "seed": program_spec.seed,
@@ -127,7 +141,7 @@ def _diagnose_item(payload):
         "failed": report.failed,
         "found": report.found,
         "rank": report.rank,
-        "n_findings": len(report.findings),
+        "n_findings": n_findings,
         "finding_hits": hits,
         "debug_buffer_position": report.debug_buffer_position,
         "debug_overflowed": report.debug_overflowed,
@@ -378,5 +392,6 @@ def run_corpus_for_preset(preset):
     """Experiment-registry entry point: corpus at preset scale."""
     spec = CorpusSpec(seed=preset.corpus_seed, size=preset.corpus_size,
                       n_train_runs=preset.corpus_train_runs,
-                      n_pruning_runs=preset.corpus_pruning_runs)
+                      n_pruning_runs=preset.corpus_pruning_runs,
+                      engine=preset.corpus_engine)
     return run_corpus(spec, jobs=preset.jobs)

@@ -116,6 +116,13 @@ def _corpus():
     return lambda preset: format_corpus(run_corpus_for_preset(preset))
 
 
+@_experiment("shootout", "corpus-scale comparison of the registered engines")
+def _load_shootout():
+    from repro.analysis.shootout import (format_shootout,
+                                         run_shootout_for_preset)
+    return lambda preset: format_shootout(run_shootout_for_preset(preset))
+
+
 @_experiment("adaptation", "online-learning adaptation study")
 def _adaptation():
     from repro.analysis.adaptation import format_adaptation, run_adaptation

@@ -52,6 +52,10 @@ class Preset:
     corpus_size: int = 20
     corpus_train_runs: int = 6
     corpus_pruning_runs: int = 8
+    # Engine selection (see repro.engines): the corpus harness runs one
+    # engine; the shootout races the listed ones (empty = all).
+    corpus_engine: str = "nn"
+    shootout_engines: Tuple[str, ...] = ()
 
 
 FULL = Preset(name="full")

@@ -17,6 +17,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli profile lu mcf        # workload communication profile
     python -m repro.cli corpus --seed 7 --size 20 --jobs 4 \
         --out metrics.json                    # accuracy on generated corpus
+    python -m repro.cli diagnose gzip --engine pset   # baseline engine
+    python -m repro.cli shootout --seed 7 --size 20 \
+        --out shootout.json                   # race all engines (Table I)
     python -m repro.cli serve --state jobs.json --jobs 2 &   # daemon
     python -m repro.cli submit --wait diagnose gzip          # via daemon
     python -m repro.cli status --out status.json
@@ -100,6 +103,10 @@ def _cmd_profile(args):
 
 def _cmd_corpus(args):
     return _emit(ops.run_corpus(ops.CorpusRequest.from_args(args)))
+
+
+def _cmd_shootout(args):
+    return _emit(ops.run_shootout(ops.ShootoutRequest.from_args(args)))
 
 
 def _cmd_experiment(args):
@@ -288,6 +295,10 @@ def _add_diagnose_args(d):
     d.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for independent runs "
                         "(results identical to serial; 0 = all CPUs)")
+    d.add_argument("--engine", default="nn", metavar="NAME",
+                   help="predictor engine (see docs/engines.md): nn "
+                        "(default), aviso, pbi, pset, ensemble, or "
+                        "ensemble:a+b for explicit members")
     d.add_argument("--no-fast", dest="fast", action="store_false",
                    help="replay the failure run through the scalar "
                         "reference path instead of the batched fast path")
@@ -364,6 +375,9 @@ def _add_corpus_args(c):
     c.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker processes for independent programs "
                         "(results identical to serial; 0 = all CPUs)")
+    c.add_argument("--engine", default="nn", metavar="NAME",
+                   help="predictor engine to score (see docs/engines.md; "
+                        "default nn)")
     c.add_argument("--out", metavar="PATH",
                    help="write the canonical metrics JSON to PATH")
     c.add_argument("--trace-dir", metavar="DIR",
@@ -386,6 +400,35 @@ def _add_corpus_args(c):
     c.add_argument("--quarantine-report", metavar="PATH",
                    help="write the quarantine report (skipped programs "
                         "and why) as JSON")
+
+
+def _add_shootout_args(s):
+    """``shootout`` flags, shared with ``submit shootout``."""
+    s.add_argument("--seed", type=int, default=7,
+                   help="corpus seed (same seed + size => byte-identical "
+                        "metrics JSON, whatever --jobs is)")
+    s.add_argument("--size", type=int, default=20,
+                   help="number of generated programs per engine")
+    s.add_argument("--engines", metavar="NAMES", default=None,
+                   help="comma-separated engine names to race "
+                        "(default: every registered engine)")
+    s.add_argument("--train-runs", type=int, default=6)
+    s.add_argument("--pruning-runs", type=int, default=8)
+    s.add_argument("--seq-len", type=int, default=3)
+    s.add_argument("--top", type=int, default=5, metavar="K",
+                   help="k for the top-k metric")
+    s.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for independent programs "
+                        "(results identical to serial; 0 = all CPUs)")
+    s.add_argument("--out", metavar="PATH",
+                   help="write the canonical shootout metrics JSON "
+                        "to PATH")
+    s.add_argument("--bench", metavar="PATH",
+                   default="BENCH_accuracy.json",
+                   help="accuracy-trajectory file to append per-engine "
+                        "recall/top-1 to (default BENCH_accuracy.json)")
+    s.add_argument("--no-bench", action="store_true",
+                   help="do not touch the accuracy-trajectory file")
 
 
 def _add_socket_arg(cmd):
@@ -425,6 +468,13 @@ def build_parser():
         help="diagnosis accuracy over a generated ground-truth corpus")
     _add_corpus_args(c)
     _add_telemetry_args(c)
+
+    sh = sub.add_parser(
+        "shootout",
+        help="race every registered engine over the same corpus "
+             "(Table-I-style comparison)")
+    _add_shootout_args(sh)
+    _add_telemetry_args(sh)
 
     e = sub.add_parser("experiment", help="regenerate a table/figure")
     e.add_argument("name", choices=experiment_names())
@@ -469,10 +519,12 @@ def build_parser():
                          "exit with its exit code")
     sb.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
                     help="--wait limit in seconds (default 600)")
-    sbsub = sb.add_subparsers(dest="kind", required=True,
-                              metavar="{diagnose,corpus,trace,profile}")
+    sbsub = sb.add_subparsers(
+        dest="kind", required=True,
+        metavar="{diagnose,corpus,shootout,trace,profile}")
     _add_diagnose_args(sbsub.add_parser("diagnose"))
     _add_corpus_args(sbsub.add_parser("corpus"))
+    _add_shootout_args(sbsub.add_parser("shootout"))
     _add_trace_args(sbsub.add_parser("trace"))
     _add_profile_args(sbsub.add_parser("profile"))
 
@@ -520,6 +572,7 @@ def main(argv=None):
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "corpus": _cmd_corpus,
+        "shootout": _cmd_shootout,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -93,6 +93,24 @@ class CheckpointError(ReproError):
         return (self.__class__, (self.description, self.path))
 
 
+class EngineError(ReproError):
+    """Raised on unknown predictor-engine names or invalid engine use.
+
+    ``engine`` is the offending name and ``known`` the tuple of names
+    registered at raise time, so every message (CLI, service, corpus)
+    can steer the user to a valid ``--engine`` value.
+    """
+
+    def __init__(self, description, engine=None, known=None):
+        super().__init__(description)
+        self.description = description
+        self.engine = engine
+        self.known = tuple(known) if known is not None else None
+
+    def __reduce__(self):
+        return (self.__class__, (self.description, self.engine, self.known))
+
+
 class ServiceError(ReproError):
     """Raised on diagnosis-service failures (daemon unreachable, job
     rejected, jobstore unusable).

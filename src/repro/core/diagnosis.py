@@ -64,6 +64,15 @@ class DiagnosisReport:
     mode_switches: int = 0
     notes: list = field(default_factory=list)
     quarantine: Optional[dict] = None
+    #: name of the engine that produced this report; ``None`` for the
+    #: historical direct NN path (keeps pre-registry reports equal).
+    engine: Optional[str] = None
+    #: False when the engine's candidate space cannot express this bug
+    #: (e.g. Aviso on a single-threaded program).
+    applicable: bool = True
+    #: engine-native ranked candidates ``{"key", "score", "hit"}``;
+    #: empty for NN reports, whose ranking lives in ``findings``.
+    candidates: list = field(default_factory=list)
 
     def top(self, k=5):
         return self.findings[:k]
@@ -159,7 +168,8 @@ def diagnose_failure(program, config=None, trained=None,
                      pruning_params=None, root_cause=None,
                      fast=True, jobs=None,
                      faults=None, quarantine=None, checkpoint=None,
-                     trained_sink=None):
+                     trained_sink=None, engine=None, engine_state=None,
+                     engine_state_sink=None):
     """Diagnose ``program``'s failure with the full ACT pipeline.
 
     Args:
@@ -201,10 +211,31 @@ def diagnose_failure(program, config=None, trained=None,
             :class:`TrainedACT` once training state is in hand (freshly
             trained or reloaded). The serve daemon's warm-state cache
             hangs off this hook; it never changes the report.
+        engine: registered engine name (see :mod:`repro.engines`). The
+            call routes through the registry; ``"nn"`` delegates
+            straight back here, byte-identically. ``None`` (default)
+            keeps the historical direct path.
+        engine_state: a payload from ``Predictor.serialize`` to warm-
+            start the chosen engine (skips its training phase).
+        engine_state_sink: callable receiving the engine's serialized
+            state once training is in hand (the engine-generic analogue
+            of ``trained_sink``).
 
     Returns:
         :class:`DiagnosisReport`.
     """
+    if engine is not None:
+        from repro.engines.registry import create
+
+        return create(engine, config=config).diagnose_report(
+            program, trained=trained, n_train_runs=n_train_runs,
+            train_seed0=train_seed0, failure_seed=failure_seed,
+            n_pruning_runs=n_pruning_runs, pruning_seed0=pruning_seed0,
+            failure_params=failure_params, correct_params=correct_params,
+            pruning_params=pruning_params, root_cause=root_cause,
+            fast=fast, jobs=jobs, faults=faults, quarantine=quarantine,
+            checkpoint=checkpoint, trained_sink=trained_sink,
+            state=engine_state, state_sink=engine_state_sink)
     config = config or ACTConfig()
     failure_params = dict(failure_params or {"buggy": True})
     correct_params = dict(correct_params or {"buggy": False})

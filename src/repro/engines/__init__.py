@@ -1,0 +1,25 @@
+"""Pluggable predictor engines behind one ``Predictor`` protocol.
+
+See ``docs/engines.md``. ``registry.create(name)`` is the entry point;
+``--engine NAME`` on the CLI and service routes through it.
+"""
+
+from repro.engines.base import (
+    EngineCapabilities,
+    Predictor,
+    candidate,
+    candidate_report,
+    report_candidates,
+)
+from repro.engines.registry import create, names, register
+
+__all__ = [
+    "EngineCapabilities",
+    "Predictor",
+    "candidate",
+    "candidate_report",
+    "create",
+    "names",
+    "register",
+    "report_candidates",
+]

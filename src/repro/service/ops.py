@@ -101,6 +101,7 @@ class DiagnoseRequest:
     top: int = 5
     jobs: Optional[int] = None
     fast: bool = True
+    engine: str = "nn"
     faults: Optional[str] = None
     quarantine_report: Optional[str] = None
     checkpoint: Optional[str] = None
@@ -115,7 +116,7 @@ class DiagnoseRequest:
                    pruning_runs=args.pruning_runs, seq_len=args.seq_len,
                    debug_buffer=args.debug_buffer,
                    threshold=args.threshold, top=args.top, jobs=args.jobs,
-                   fast=args.fast, faults=args.faults,
+                   fast=args.fast, engine=args.engine, faults=args.faults,
                    quarantine_report=args.quarantine_report,
                    checkpoint=args.checkpoint, resume=args.resume)
 
@@ -137,6 +138,19 @@ def run_diagnose(req, warm=None):
         program = get_bug(req.bug)
     except ReproError as e:
         return _fail(f"error: {e}")
+    engine = req.engine or "nn"
+    if engine != "nn":
+        from repro.common.errors import EngineError
+        from repro.engines import registry as engine_registry
+
+        try:
+            engine_obj = engine_registry.create(engine)
+        except EngineError as e:
+            return _fail(f"error: {e}")
+        if req.checkpoint or req.resume:
+            return _fail(f"error: --engine {engine} does not support "
+                         "checkpoints (only the default nn engine is "
+                         "checkpointable)")
     config = ACTConfig(seq_len=req.seq_len,
                       debug_buffer=req.debug_buffer,
                       mispred_threshold=req.threshold)
@@ -158,19 +172,35 @@ def run_diagnose(req, warm=None):
     # Warm-state reuse: only when nothing perturbs training (a fault
     # plan can damage training runs; a checkpoint already carries its
     # own trained snapshot). The key holds everything that shapes the
-    # trained state -- failure/pruning seeds deliberately excluded.
+    # trained state -- failure/pruning seeds deliberately excluded --
+    # plus the engine fingerprint, so two engines on the same workload
+    # never share an entry.
     trained = None
     trained_sink = None
+    engine_state = None
+    engine_state_sink = None
     if warm is not None and plan is None and checkpoint is None:
+        if engine == "nn":
+            fingerprint = {"engine": "nn"}
+        else:
+            fingerprint = engine_obj.fingerprint()
         key = warm.key(kind="diagnose", workload=req.bug,
                        config=asdict(config), train_runs=req.train_runs,
-                       train_seed0=DEFAULT_TRAIN_SEED0)
+                       train_seed0=DEFAULT_TRAIN_SEED0,
+                       engine=fingerprint)
         payload = warm.get(key)
-        if payload is not None:
-            trained = TrainedACT.from_payload(payload, config)
+        if engine == "nn":
+            if payload is not None:
+                trained = TrainedACT.from_payload(payload, config)
+            else:
+                def trained_sink(t, _key=key):
+                    warm.put(_key, t.to_payload())
         else:
-            def trained_sink(t, _key=key):
-                warm.put(_key, t.to_payload())
+            if payload is not None:
+                engine_state = payload
+            else:
+                def engine_state_sink(state, _key=key):
+                    warm.put(_key, state)
 
     try:
         report = diagnose_failure(program, config=config, trained=trained,
@@ -180,9 +210,15 @@ def run_diagnose(req, warm=None):
                                   fast=req.fast, jobs=req.jobs,
                                   faults=plan, quarantine=quarantine,
                                   checkpoint=checkpoint,
-                                  trained_sink=trained_sink)
+                                  trained_sink=trained_sink,
+                                  engine=(engine if engine != "nn"
+                                          else None),
+                                  engine_state=engine_state,
+                                  engine_state_sink=engine_state_sink)
     except CheckpointError as e:
         return _fail(f"error: {e}")
+    if report.engine is not None:
+        return _engine_report_outcome(report, req, quarantine)
     lines = [
         f"program          : {report.program}",
         f"failure          : {report.failure_description}",
@@ -218,6 +254,40 @@ def run_diagnose(req, warm=None):
                    payload=payload)
 
 
+def _engine_report_outcome(report, req, quarantine):
+    """CLI text + payload for a non-NN engine's candidate report."""
+    lines = [
+        f"program          : {report.program}",
+        f"engine           : {report.engine}",
+        f"failure          : {report.failure_description}",
+        f"candidates       : {len(report.candidates)}",
+        f"root cause found : {report.found}"
+        + (f" at rank {report.rank}" if report.found else ""),
+    ]
+    if not report.applicable:
+        lines.insert(4, "applicable       : False")
+    for note in report.notes:
+        lines.append(f"note: {note}")
+    for i, cand in enumerate(report.candidates[:req.top], start=1):
+        hit = ", hit" if cand["hit"] else ""
+        lines.append(f"  #{i}: {cand['key']} "
+                     f"(score {cand['score']:.3f}{hit})")
+    if quarantine is not None:
+        lines.extend(_quarantine_lines(quarantine, req.quarantine_report))
+    payload = {
+        "program": report.program,
+        "engine": report.engine,
+        "applicable": report.applicable,
+        "failed": report.failed,
+        "found": report.found,
+        "rank": report.rank,
+        "n_candidates": len(report.candidates),
+        "notes": list(report.notes),
+    }
+    return Outcome(rc=0 if report.found else 1, out="\n".join(lines),
+                   payload=payload)
+
+
 # ---------------------------------------------------------------------
 # corpus
 # ---------------------------------------------------------------------
@@ -233,6 +303,7 @@ class CorpusRequest:
     seq_len: int = 3
     top: int = 5
     jobs: Optional[int] = None
+    engine: str = "nn"
     out: Optional[str] = None
     trace_dir: Optional[str] = None
     trace_format: str = "columnar"
@@ -248,8 +319,8 @@ class CorpusRequest:
         return cls(seed=args.seed, size=args.size,
                    train_runs=args.train_runs,
                    pruning_runs=args.pruning_runs, seq_len=args.seq_len,
-                   top=args.top, jobs=args.jobs, out=args.out,
-                   trace_dir=args.trace_dir,
+                   top=args.top, jobs=args.jobs, engine=args.engine,
+                   out=args.out, trace_dir=args.trace_dir,
                    trace_format=args.trace_format, faults=args.faults,
                    quarantine_report=args.quarantine_report,
                    checkpoint=args.checkpoint, resume=args.resume)
@@ -269,6 +340,18 @@ def run_corpus(req):
         if out_dir and not os.path.isdir(out_dir):
             return _fail(f"error: output directory {out_dir!r} "
                          "does not exist")
+    engine = req.engine or "nn"
+    if engine != "nn":
+        # Corpus checkpoints hold per-program *records* (engine-
+        # agnostic, keyed by a fingerprint that includes the engine),
+        # so unlike diagnose no checkpoint restriction applies here.
+        from repro.common.errors import EngineError
+        from repro.engines import registry as engine_registry
+
+        try:
+            engine_registry.create(engine)
+        except EngineError as e:
+            return _fail(f"error: {e}")
     checkpoint = req.checkpoint
     if req.resume:
         if not os.path.isfile(req.resume):
@@ -286,6 +369,7 @@ def run_corpus(req):
     spec = CorpusSpec(seed=req.seed, size=req.size, top_k=req.top,
                       n_train_runs=req.train_runs,
                       n_pruning_runs=req.pruning_runs,
+                      engine=engine,
                       config=ACTConfig(seq_len=req.seq_len))
     try:
         result = run_corpus(spec, jobs=req.jobs, faults=plan,
@@ -311,6 +395,82 @@ def run_corpus(req):
                      f"traces to {req.trace_dir}")
     if quarantine is not None:
         lines.extend(_quarantine_lines(quarantine, req.quarantine_report))
+    return Outcome(rc=0, out="\n".join(lines),
+                   payload={"metrics": result.metrics})
+
+
+# ---------------------------------------------------------------------
+# shootout
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShootoutRequest:
+    """``repro shootout`` as data (defaults match the CLI flags)."""
+
+    seed: int = 7
+    size: int = 20
+    engines: Tuple[str, ...] = ()
+    train_runs: int = 6
+    pruning_runs: int = 8
+    seq_len: int = 3
+    top: int = 5
+    jobs: Optional[int] = None
+    out: Optional[str] = None
+    bench: Optional[str] = None
+
+    kind = "shootout"
+
+    @classmethod
+    def from_args(cls, args):
+        engines = tuple(
+            name.strip() for name in (args.engines or "").split(",")
+            if name.strip())
+        bench = None if args.no_bench else args.bench
+        return cls(seed=args.seed, size=args.size, engines=engines,
+                   train_runs=args.train_runs,
+                   pruning_runs=args.pruning_runs, seq_len=args.seq_len,
+                   top=args.top, jobs=args.jobs, out=args.out,
+                   bench=bench)
+
+
+def run_shootout(req):
+    """Race every (selected) engine over the same corpus."""
+    from repro.analysis.shootout import (
+        ShootoutSpec,
+        append_bench,
+        format_shootout,
+        run_shootout,
+        shootout_json,
+    )
+    from repro.common.errors import EngineError
+    from repro.engines import registry as engine_registry
+
+    for path in (req.out, req.bench):
+        if path:
+            out_dir = os.path.dirname(path)
+            if out_dir and not os.path.isdir(out_dir):
+                return _fail(f"error: output directory {out_dir!r} "
+                             "does not exist")
+    for name in req.engines:
+        try:
+            engine_registry.create(name)
+        except EngineError as e:
+            return _fail(f"error: {e}")
+    spec = ShootoutSpec(seed=req.seed, size=req.size,
+                        engines=tuple(req.engines), top_k=req.top,
+                        n_train_runs=req.train_runs,
+                        n_pruning_runs=req.pruning_runs,
+                        config=ACTConfig(seq_len=req.seq_len))
+    result = run_shootout(spec, jobs=req.jobs)
+    lines = [format_shootout(result)]
+    if req.out:
+        with open(req.out, "w", encoding="utf-8") as f:
+            f.write(shootout_json(result))
+        lines.append(f"metrics written to {req.out}")
+    if req.bench:
+        doc = append_bench(result, req.bench)
+        lines.append(f"accuracy trajectory: {req.bench} "
+                     f"({len(doc['entries'])} entries)")
     return Outcome(rc=0, out="\n".join(lines),
                    payload={"metrics": result.metrics})
 
@@ -511,6 +671,7 @@ def run_profile(req):
 REQUEST_TYPES = {
     "diagnose": DiagnoseRequest,
     "corpus": CorpusRequest,
+    "shootout": ShootoutRequest,
     "trace": TraceRequest,
     "profile": ProfileRequest,
 }
@@ -518,6 +679,7 @@ REQUEST_TYPES = {
 _RUNNERS = {
     "diagnose": run_diagnose,
     "corpus": run_corpus,
+    "shootout": run_shootout,
     "trace": run_trace,
     "profile": run_profile,
 }
@@ -575,10 +737,13 @@ def run_request(req, warm=None, default_jobs=None):
 # ---------------------------------------------------------------------
 
 class WarmStateCache:
-    """LRU cache of trained state (:meth:`TrainedACT.to_payload` dicts).
+    """LRU cache of trained state (:meth:`TrainedACT.to_payload` dicts
+    for the NN engine; ``Predictor.serialize`` payloads for the rest).
 
     Keys are the canonical JSON of everything that shapes training:
-    workload name, training seed range, config fingerprint. The daemon
+    workload name, training seed range, config fingerprint, and the
+    engine fingerprint (so e.g. ``nn`` and ``pset`` diagnoses of the
+    same workload occupy separate entries). The daemon
     keeps one instance for its whole life, so a repeat diagnosis of the
     same (workload, seeds, config) skips offline retraining entirely --
     observable as ``serve.warm_hits`` in the job's telemetry profile

@@ -140,6 +140,13 @@ CATALOG = (
                "corpus programs whose root cause was ranked"),
     MetricSpec("corpus.quarantined", COUNTER, "analysis.accuracy",
                "corpus programs lost to injected faults (scored as misses)"),
+    # -- predictor engines (repro.engines) ------------------------------
+    MetricSpec("engine.trainings", COUNTER, "repro.engines",
+               "cold engine trainings run by the registry-routed path"),
+    MetricSpec("engine.diagnoses", COUNTER, "repro.engines",
+               "diagnoses completed by registry-routed (non-NN) engines"),
+    MetricSpec("shootout.engines", COUNTER, "analysis.shootout",
+               "engines raced to completion by the shootout harness"),
     # -- offline training (core.offline / nn.trainer) ------------------
     MetricSpec("offline.correct_runs", COUNTER, "core.offline",
                "correct executions collected for training/pruning"),

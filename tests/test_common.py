@@ -9,6 +9,7 @@ from repro.common import errors as errors_module
 from repro.common.errors import (
     CheckpointError,
     ConfigError,
+    EngineError,
     FaultInjected,
     JobNotFound,
     ProtocolError,
@@ -82,6 +83,10 @@ _ERROR_SAMPLES = [
       "key": (7, 2)}),
     (CheckpointError("corrupt", path="/tmp/ck.json"),
      {"path": "/tmp/ck.json"}),
+    (EngineError("unknown engine 'bogus'", engine="bogus",
+                 known=("nn", "aviso", "pbi", "pset", "ensemble")),
+     {"engine": "bogus",
+      "known": ("nn", "aviso", "pbi", "pset", "ensemble")}),
     (ServiceError("daemon unreachable", socket_path="/tmp/repro.sock"),
      {"socket_path": "/tmp/repro.sock"}),
     (JobNotFound("no such job", job_id="j42"), {"job_id": "j42"}),

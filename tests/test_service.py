@@ -365,6 +365,36 @@ class TestWarmStateCache:
         assert (sig.parameters["train_seed0"].default
                 == DEFAULT_TRAIN_SEED0)
 
+    def test_engines_never_share_cache_entries(self):
+        # The warm key carries the engine fingerprint, so two engines
+        # on the same workload miss independently and hold separate
+        # entries -- serving NN weights to pset (or vice versa) would
+        # be silent corruption.
+        cache = ops.WarmStateCache()
+        nn = ops.DiagnoseRequest(bug="gzip", **FAST_KW)
+        pset = ops.DiagnoseRequest(bug="gzip", engine="pset", **FAST_KW)
+        cold = {"nn": ops.run_diagnose(nn), "pset": ops.run_diagnose(pset)}
+        first = {"nn": ops.run_diagnose(nn, warm=cache),
+                 "pset": ops.run_diagnose(pset, warm=cache)}
+        assert cache.misses == 2 and cache.hits == 0 and len(cache) == 2
+        warm = {"nn": ops.run_diagnose(nn, warm=cache),
+                "pset": ops.run_diagnose(pset, warm=cache)}
+        assert cache.misses == 2 and cache.hits == 2 and len(cache) == 2
+        for name in ("nn", "pset"):
+            for got in (first[name], warm[name]):
+                assert (got.rc, got.out, got.err) == (
+                    cold[name].rc, cold[name].out, cold[name].err)
+
+    def test_ensemble_member_list_distinguishes_cache_keys(self):
+        # ensemble:nn+pset and ensemble:pbi+pset fingerprint differently.
+        from repro.engines import registry as engine_registry
+
+        fp_a = ops.WarmStateCache.key(
+            engine=engine_registry.create("ensemble:nn+pset").fingerprint())
+        fp_b = ops.WarmStateCache.key(
+            engine=engine_registry.create("ensemble:pbi+pset").fingerprint())
+        assert fp_a != fp_b
+
 
 # ---------------------------------------------------------------------
 # pool close + jobs env satellites
@@ -516,6 +546,44 @@ class TestDaemonRoundTrip:
         assert "diagnose.offline_train" not in _span_names(s2["profile"])
         warm = daemon_status["warm"]
         assert warm["hits"] == 1 and warm["misses"] == 1
+
+    def test_submit_engine_matches_cold_cli(self, capsys):
+        cold = _cold(capsys,
+                     ["diagnose", "gzip", "--engine", "pset", *FAST])
+        req = ops.DiagnoseRequest(bug="gzip", engine="pset", **FAST_KW)
+        with _Daemon() as d:
+            first = client.wait_for(
+                d.socket_path,
+                client.submit(d.socket_path, req)["id"], timeout=120)
+            # A repeat submit is served from the per-engine warm cache
+            # and must still be byte-identical.
+            second = client.wait_for(
+                d.socket_path,
+                client.submit(d.socket_path, req)["id"], timeout=120)
+            warm = client.status(d.socket_path)["warm"]
+        assert _outcome_text(first["result"]) == cold
+        assert _outcome_text(second["result"]) == cold
+        assert warm["hits"] == 1 and warm["misses"] == 1
+
+    def test_submit_shootout_matches_cold_cli(self, capsys, tmp_path):
+        cold_out = tmp_path / "cold.json"
+        cold = _cold(capsys, ["shootout", "--seed", "3", "--size", "2",
+                              "--engines", "pset,pbi", *FAST,
+                              "--no-bench", "--out", str(cold_out)])
+        warm_out = tmp_path / "warm.json"
+        with _Daemon() as d:
+            job = client.submit(
+                d.socket_path,
+                ops.ShootoutRequest(seed=3, size=2,
+                                    engines=("pset", "pbi"),
+                                    out=str(warm_out), bench=None,
+                                    **FAST_KW))
+            reply = client.wait_for(d.socket_path, job["id"], timeout=240)
+        rc, out, err = _outcome_text(reply["result"])
+        assert rc == cold[0]
+        assert out.replace(str(warm_out), str(cold_out)) == cold[1]
+        assert err == cold[2]
+        assert warm_out.read_bytes() == cold_out.read_bytes()
 
     def test_status_and_errors_over_socket(self):
         with _Daemon() as d:
