@@ -26,7 +26,11 @@ Four measurements, all recorded into ``benchmarks/results/`` and into
 4. **End-to-end corpus** -- wall seconds of the preset-scaled accuracy
    corpus (``repro corpus``), the number a user actually waits on. Also
    exported flat as ``corpus_wall_seconds`` for the trend gate.
-5. **Warm-state diagnosis** -- wall seconds of a full diagnosis cold
+5. **Adaptive frontier** -- the sampling-rate x FIFO sweep
+   (:mod:`repro.analysis.frontier`) at preset scale; the recorded
+   ``frontier.overhead_proxy`` / ``frontier.top1`` ratios (the pick's
+   fraction of full-rate overhead and top-1) feed the trend gates.
+6. **Warm-state diagnosis** -- wall seconds of a full diagnosis cold
    (offline training included) vs through the serve daemon's
    :class:`~repro.service.ops.WarmStateCache` (training skipped,
    trained state replayed from the cache). Reports are byte-identical;
@@ -180,6 +184,18 @@ def test_throughput(preset, save_result):
     corpus_result = run_corpus_for_preset(preset)
     corpus_wall = time.perf_counter() - t0
 
+    # --- adaptive-overhead frontier ----------------------------------
+    # The sweep's flat summary is a pair of baseline-relative ratios
+    # (fraction of full-rate overhead / top-1 retained at the pick),
+    # deterministic for the preset's corpus and machine-portable --
+    # exactly what the frontier.* trend gates want.
+    from repro.analysis.frontier import run_frontier_for_preset
+
+    t0 = time.perf_counter()
+    frontier_result = run_frontier_for_preset(preset)
+    frontier_wall = time.perf_counter() - t0
+    frontier_pick = frontier_result.metrics["frontier"]
+
     # --- warm-state diagnosis (the serve daemon's repeat-submit win) --
     from repro.service import ops as service_ops
 
@@ -237,6 +253,14 @@ def test_throughput(preset, save_result):
             "wall_seconds": round(corpus_wall, 3),
         },
         "corpus_wall_seconds": round(corpus_wall, 3),
+        "frontier": {
+            "rate": frontier_pick["rate"],
+            "fifo": frontier_pick["fifo"],
+            "overhead_proxy": frontier_pick["overhead_proxy"],
+            "top1": frontier_pick["top1"],
+            "recall": frontier_pick["recall"],
+            "wall_seconds": round(frontier_wall, 3),
+        },
         "serve": {
             "program": "gzip",
             "train_runs": preset.corpus_train_runs,
@@ -276,6 +300,12 @@ def test_throughput(preset, save_result):
         f"Corpus end-to-end (size {corpus_result.spec.size}, "
         f"jobs={preset.jobs})",
         f"  wall time           : {corpus_wall:.1f} s",
+        "",
+        f"Adaptive frontier pick (rate {frontier_pick['rate']:g} @ "
+        f"FIFO {frontier_pick['fifo']})",
+        f"  overhead vs full    : {frontier_pick['overhead_proxy']}",
+        f"  top-1 retained      : {frontier_pick['top1']}",
+        f"  wall time           : {frontier_wall:.1f} s",
         "",
         "Warm-state diagnosis (gzip, serve warm cache)",
         f"  cold                : {t_diag_cold:.3f} s",

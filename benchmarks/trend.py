@@ -42,6 +42,15 @@ GATED_METRICS = {
     "replay.speedup": {"direction": "higher"},
     "parallel.speedup": {"direction": "higher", "threshold": 0.50},
     "corpus_wall_seconds": {"direction": "lower", "threshold": 0.50},
+    # The adaptive-frontier pick (benchmarks/bench_throughput.py runs
+    # the sweep; see docs/adaptive.md). Both are ratios against the
+    # full-rate baseline of the same run, so they are machine-portable:
+    # overhead_proxy is the pick's fraction of full-rate overhead
+    # (lower is better; >50% growth means sampling stopped paying),
+    # top1 its fraction of full-rate top-1 accuracy (a drop beyond 25%
+    # means the sampled deployment stopped diagnosing).
+    "frontier.overhead_proxy": {"direction": "lower", "threshold": 0.50},
+    "frontier.top1": {"direction": "higher", "threshold": 0.25},
 }
 TRACKED_METRICS = {
     "replay.batched_deps_per_sec": "higher",
@@ -51,6 +60,7 @@ TRACKED_METRICS = {
     "trace_io.read_speedup": "higher",
     "trace_io.write_speedup": "higher",
     "serve.warm_speedup": "higher",
+    "frontier.recall": "higher",
 }
 
 
@@ -157,6 +167,13 @@ def run_trend(bench_path, history_path, threshold=DEFAULT_THRESHOLD,
     for path, value in sorted(entry["metrics"].items()):
         gate = " [gated]" if path in GATED_METRICS else ""
         print(f"  {path} = {value}{gate}", file=out)
+    # A gated metric the bench payload never produced would otherwise
+    # vanish silently -- absent from the fresh entry, it is skipped on
+    # every future comparison too, so say so now, every run.
+    for path in sorted(GATED_METRICS):
+        if path not in entry["metrics"]:
+            print(f"gate unavailable: {path} (not in bench payload)",
+                  file=out)
     if not history:
         print("no previous entry; nothing to gate against", file=out)
         return 0

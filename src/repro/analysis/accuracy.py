@@ -68,6 +68,11 @@ class CorpusSpec:
     #: historical default and is elided from the fingerprint so golden
     #: metrics files predating the registry stay byte-identical.
     engine: str = "nn"
+    #: adaptive tracking policy applied to every program's deployment
+    #: (:class:`~repro.core.policy.PolicySpec`); ``None`` -- the default,
+    #: elided from the fingerprint -- keeps the historical full-rate
+    #: pipeline byte-identical.
+    policy: Optional[object] = None
     # Generated programs are deliberately small; N=3 keeps every
     # archetype trainable (the paper likewise picks per-program N).
     config: ACTConfig = field(
@@ -79,6 +84,10 @@ class CorpusSpec:
         doc["archetypes"] = list(self.archetypes)
         if doc["engine"] == "nn":
             del doc["engine"]
+        if self.policy is None:
+            del doc["policy"]
+        else:
+            doc["policy"] = self.policy.fingerprint()
         return doc
 
 
@@ -117,7 +126,8 @@ def _diagnose_item(payload):
         n_train_runs=spec.n_train_runs,
         n_pruning_runs=spec.n_pruning_runs,
         failure_seed=spec.failure_seed,
-        engine=spec.engine if spec.engine != "nn" else None)
+        engine=spec.engine if spec.engine != "nn" else None,
+        policy=spec.policy)
     root = report.root_cause or set()
     if report.candidates:
         # Engine-native reports rank candidates, not NN findings.

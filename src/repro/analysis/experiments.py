@@ -123,6 +123,13 @@ def _load_shootout():
     return lambda preset: format_shootout(run_shootout_for_preset(preset))
 
 
+@_experiment("frontier", "adaptive-overhead Pareto sweep (rates x FIFO)")
+def _load_frontier():
+    from repro.analysis.frontier import (format_frontier,
+                                         run_frontier_for_preset)
+    return lambda preset: format_frontier(run_frontier_for_preset(preset))
+
+
 @_experiment("adaptation", "online-learning adaptation study")
 def _adaptation():
     from repro.analysis.adaptation import format_adaptation, run_adaptation

@@ -1,0 +1,455 @@
+"""Adaptive-overhead frontier: the overhead-vs-accuracy Pareto sweep.
+
+``repro frontier`` measures what the paper's Section VI argues but our
+corpus harness never showed: how much diagnosis quality survives when
+the AM does *not* trace every dependence. For each generated corpus
+program the harness trains once, replays the failure run once per
+sampling rate (an enabled :class:`~repro.core.policy.PolicySpec`
+governs the AM's admit gate), and times the replay once per
+``rate x fifo_depth`` point on the machine model
+(:mod:`repro.sim.machine`), whose ``overhead_proxy`` --
+``deps_offered * (1 + mean FIFO occupancy)`` -- stands in for the
+paper's tracking-overhead percentage.
+
+Sampled passes run the paper's suspicion feedback by default
+(``tighten``): the full-rate pass flags the PCs of its top findings,
+and every sampled policy carries them as its always-traced tightening
+set -- sample everywhere, keep full rate around suspicious code. That
+is what makes cheap points retain diagnosis quality; ``--no-tighten``
+sweeps blind sampling instead.
+
+The reduction is a Pareto table: each point carries the corpus-summed
+overhead proxy (and its ratio to the full-rate point at the same FIFO
+depth) next to the recall/top-1 the corpus retained at that rate, with
+the non-dominated points flagged. The flat ``frontier`` summary picks
+the cheapest sampled point that keeps at least 90% of full-rate top-1
+-- the deployability claim in one pair of gateable numbers
+(``frontier.overhead_proxy`` / ``frontier.top1`` in
+``benchmarks/trend.py``).
+
+Determinism is the same hard contract as :mod:`.accuracy`: the same
+spec yields a byte-identical metrics JSON (:func:`frontier_json`)
+whether the per-program fan-out ran serial or across ``--jobs``
+workers. Accuracy depends on the rate only (the deploy path has no
+FIFO model); overhead depends on both knobs.
+"""
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Tuple
+
+from repro import telemetry
+from repro.common.errors import ConfigError
+from repro.common.texttable import render_table
+from repro.core import policy as _policy
+from repro.core.config import ACTConfig
+from repro.core.deploy import deploy_on_run
+from repro.core.offline import OfflineTrainer, collect_runs_for_seeds
+from repro.core.policy import NULL_POLICY, PolicySpec
+from repro.core.postprocess import CorrectSet, postprocess
+from repro.parallel import run_tasks
+from repro.sim.machine import simulate_run
+from repro.analysis.accuracy import _group_metrics, corpus_programs
+from repro.analysis.shootout import DEFAULT_BENCH_PATH
+from repro.workloads.framework import run_program
+from repro.workloads.generator import ARCHETYPES, GeneratedProgram
+
+#: Fraction of full-rate top-1 a sampled point must retain to be the
+#: summary's pick (the acceptance bar the frontier is judged against).
+RETENTION_BAR = 0.9
+
+
+@dataclass(frozen=True)
+class FrontierSpec:
+    """Everything that shapes one frontier sweep (JSON-safe)."""
+
+    seed: int = 7
+    size: int = 20
+    archetypes: Tuple[str, ...] = ARCHETYPES
+    #: sampling rates to sweep; 1.0 (the policy-free baseline every
+    #: ratio is taken against) is always included and the rest are
+    #: deduped and sorted descending.
+    rates: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.25)
+    #: NN-pipeline input-FIFO depths for the timing replays.
+    fifo_sizes: Tuple[int, ...] = (4, 8, 16)
+    #: seed of every swept :class:`PolicySpec` (decisions are a pure
+    #: function of ``(policy_seed, site, key)``).
+    policy_seed: int = 0
+    #: enable load-shedding backoff in the swept policies.
+    backoff: bool = True
+    #: suspicion-directed tightening: each program's full-rate pass
+    #: flags the PCs of its top findings, and every sampled pass
+    #: deploys with those PCs always traced -- the paper's feedback
+    #: loop (sample everywhere, keep full rate around suspicious code).
+    tighten: bool = True
+    top_k: int = 5
+    n_train_runs: int = 6
+    n_pruning_runs: int = 8
+    failure_seed: int = 12345
+    config: ACTConfig = field(
+        default_factory=lambda: ACTConfig(seq_len=3))
+
+    def __post_init__(self):
+        rates = tuple(sorted({float(r) for r in self.rates} | {1.0},
+                             reverse=True))
+        for rate in rates:
+            if not 0.0 < rate <= 1.0:
+                raise ConfigError(f"frontier rate={rate} not in (0, 1]")
+        fifos = tuple(sorted({int(f) for f in self.fifo_sizes}))
+        if not fifos:
+            raise ConfigError("frontier needs at least one FIFO size")
+        for fifo in fifos:
+            if fifo < 1:
+                raise ConfigError(f"frontier fifo size {fifo} < 1")
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "fifo_sizes", fifos)
+
+    def policy_for(self, rate, suspicious_pcs=()):
+        """The policy one swept rate deploys under.
+
+        Rate 1.0 maps to :data:`~repro.core.policy.NULL_POLICY` -- the
+        baseline column *is* today's policy-free pipeline, which is how
+        the sweep stays comparable with every historical corpus run.
+        Sampled rates carry the program's suspicion set (empty when
+        ``tighten`` is off).
+        """
+        if rate >= 1.0:
+            return NULL_POLICY
+        return PolicySpec(seed=self.policy_seed, rate=rate,
+                          backoff=self.backoff,
+                          suspicious_pcs=tuple(suspicious_pcs))
+
+    def fingerprint(self):
+        doc = asdict(self)
+        doc["archetypes"] = list(self.archetypes)
+        doc["rates"] = list(self.rates)
+        doc["fifo_sizes"] = list(self.fifo_sizes)
+        return doc
+
+
+@dataclass
+class FrontierResult:
+    """Per-program records plus the reduced Pareto metrics."""
+
+    spec: FrontierSpec
+    records: list
+    metrics: dict
+
+
+def _rate_key(rate):
+    """Canonical JSON key for one rate (``1``, ``0.75``, ...)."""
+    return f"{rate:g}"
+
+
+def _measure_item(payload):
+    """Picklable work item: one program across every sweep point.
+
+    Training, the failure run and the pruning-run Correct Set are paid
+    once; each rate replays the deployment under its policy, and each
+    ``rate x fifo`` pair replays the timing model. Returns a JSON-safe
+    record.
+    """
+    program_spec, spec = payload
+    program = GeneratedProgram(program_spec)
+    trained = OfflineTrainer(config=spec.config).train(
+        program, n_runs=spec.n_train_runs, seed0=0, buggy=False)
+    failure_run = run_program(program, seed=spec.failure_seed, buggy=True)
+    truth = failure_run.meta.get("root_cause") or set()
+    correct_set = CorrectSet(spec.config.seq_len,
+                             filter_stack=spec.config.filter_stack_loads)
+    for run in collect_runs_for_seeds(
+            program, list(range(100, 100 + spec.n_pruning_runs)),
+            buggy=False):
+        if run is not None:
+            correct_set.add_run(run)
+
+    by_rate = {}
+    overhead = {}
+    suspicious = ()
+    # rates are sorted descending with 1.0 always first: the full-rate
+    # baseline runs before any sampled pass needs its suspicion set.
+    for rate in spec.rates:
+        policy = spec.policy_for(rate, suspicious_pcs=suspicious)
+        with _policy.use_policy(policy):
+            deployment = deploy_on_run(trained, failure_run,
+                                       fast=not policy.enabled)
+            result = postprocess(deployment.debug_entries(), correct_set)
+            rank = result.rank_of_dep(truth) if truth else None
+            considered = result.findings[:spec.top_k]
+            hits = [
+                1 if any((d.store_pc, d.load_pc) in truth
+                         for d in f.seq[f.matched:]) else 0
+                for f in considered]
+            by_rate[_rate_key(rate)] = {
+                "failed": failure_run.failed,
+                "found": rank is not None,
+                "rank": rank,
+                "status": "diagnosed" if rank is not None else (
+                    "missed" if failure_run.failed else "no_failure"),
+                "n_findings": len(result.findings),
+                "finding_hits": hits,
+                "filter_pct": float(result.filter_pct),
+                "n_deps": deployment.n_deps,
+                "n_shed": deployment.n_shed,
+                "n_tightened": deployment.n_tightened,
+            }
+            if rate >= 1.0 and spec.tighten:
+                suspicious = _suspicious_pcs(result, spec.top_k)
+            fifo_doc = {}
+            for fifo in spec.fifo_sizes:
+                sim = simulate_run(
+                    failure_run, trained=trained,
+                    act_config=spec.config.with_(fifo_depth=fifo))
+                fifo_doc[str(fifo)] = {
+                    "overhead_proxy": round(sim.overhead_proxy, 4),
+                    "deps_offered": sim.deps_offered,
+                    "deps_shed": sim.deps_shed,
+                    "deps_tightened": sim.deps_tightened,
+                    "fifo_stalls": sim.deps_stalled,
+                    "mean_occupancy": round(sim.mean_occupancy, 4),
+                }
+            overhead[_rate_key(rate)] = fifo_doc
+    return {
+        "program": program_spec.name,
+        "seed": program_spec.seed,
+        "archetype": program_spec.archetype,
+        "motif": program_spec.motif,
+        "by_rate": by_rate,
+        "overhead": overhead,
+    }
+
+
+def _suspicious_pcs(result, top):
+    """PCs the full-rate pass implicates: the tightening feedback set.
+
+    The mismatched-suffix PCs of the top findings, mirroring
+    :func:`repro.core.policy.suspicious_pcs_from_report` for a raw
+    postprocess result.
+    """
+    pcs = set()
+    for finding in result.findings[:top]:
+        for dep in finding.seq[finding.matched:]:
+            pcs.add(int(dep.store_pc))
+            pcs.add(int(dep.load_pc))
+    return tuple(sorted(pcs))
+
+
+def _pareto_front(points):
+    """Indices of the non-dominated points (min overhead, max top-1)."""
+    front = []
+    for i, p in enumerate(points):
+        dominated = False
+        for q in points:
+            if q is p:
+                continue
+            no_worse = (q["overhead_proxy"] <= p["overhead_proxy"]
+                        and (q["top1"] or 0.0) >= (p["top1"] or 0.0))
+            better = (q["overhead_proxy"] < p["overhead_proxy"]
+                      or (q["top1"] or 0.0) > (p["top1"] or 0.0))
+            if no_worse and better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def _reduce(spec, records):
+    """Records -> the deterministic metrics document."""
+    accuracy = {}
+    for rate in spec.rates:
+        key = _rate_key(rate)
+        accuracy[key] = _group_metrics([r["by_rate"][key] for r in records],
+                                       spec.top_k)
+    points = []
+    sums = {}
+    for rate in spec.rates:
+        for fifo in spec.fifo_sizes:
+            docs = [r["overhead"][_rate_key(rate)][str(fifo)]
+                    for r in records]
+            sums[(rate, fifo)] = {
+                "overhead_proxy": round(
+                    sum(d["overhead_proxy"] for d in docs), 4),
+                "deps_offered": sum(d["deps_offered"] for d in docs),
+                "deps_shed": sum(d["deps_shed"] for d in docs),
+                "deps_tightened": sum(d["deps_tightened"] for d in docs),
+                "fifo_stalls": sum(d["fifo_stalls"] for d in docs),
+            }
+    for rate in spec.rates:
+        acc = accuracy[_rate_key(rate)]
+        for fifo in spec.fifo_sizes:
+            agg = sums[(rate, fifo)]
+            full = sums[(1.0, fifo)]["overhead_proxy"]
+            points.append({
+                "rate": rate,
+                "fifo": fifo,
+                "overhead_proxy": agg["overhead_proxy"],
+                "overhead_vs_full": (
+                    round(agg["overhead_proxy"] / full, 4) if full else None),
+                "deps_offered": agg["deps_offered"],
+                "deps_shed": agg["deps_shed"],
+                "deps_tightened": agg["deps_tightened"],
+                "fifo_stalls": agg["fifo_stalls"],
+                "recall": acc["recall"],
+                "top1": acc["top1"],
+                f"top{spec.top_k}": acc[f"top{spec.top_k}"],
+            })
+    front = _pareto_front(points)
+    for i, point in enumerate(points):
+        point["pareto"] = i in front
+    pareto = sorted(([p["rate"], p["fifo"]]
+                     for p in points if p["pareto"]),
+                    key=lambda rf: (-rf[0], rf[1]))
+    return {
+        "spec": spec.fingerprint(),
+        "accuracy": accuracy,
+        "points": points,
+        "pareto": pareto,
+        "frontier": _summary(spec, accuracy, points),
+    }
+
+
+def _summary(spec, accuracy, points):
+    """The flat, gateable pick: cheapest sampled point that retains at
+    least :data:`RETENTION_BAR` of full-rate top-1.
+
+    ``overhead_proxy``/``top1``/``recall`` are *ratios against the
+    full-rate baseline* (same FIFO depth for overhead), so they are
+    machine- and corpus-scale-portable; the absolute values stay in
+    ``points``. Falls back to the cheapest full-rate point (all ratios
+    1.0) when no sampled point clears the bar.
+    """
+    full = accuracy[_rate_key(1.0)]
+    full_top1 = full["top1"] or 0.0
+    full_recall = full["recall"] or 0.0
+
+    def ratios(point):
+        return {
+            "rate": point["rate"],
+            "fifo": point["fifo"],
+            "overhead_proxy": point["overhead_vs_full"],
+            "top1": (round((point["top1"] or 0.0) / full_top1, 4)
+                     if full_top1 else None),
+            "recall": (round((point["recall"] or 0.0) / full_recall, 4)
+                       if full_recall else None),
+        }
+
+    candidates = [p for p in points
+                  if p["rate"] < 1.0
+                  and (p["top1"] or 0.0) >= RETENTION_BAR * full_top1]
+    if candidates:
+        best = min(candidates,
+                   key=lambda p: (p["overhead_vs_full"] or 1.0,
+                                  -p["rate"], p["fifo"]))
+        return ratios(best)
+    baseline = min((p for p in points if p["rate"] >= 1.0),
+                   key=lambda p: (p["overhead_proxy"], p["fifo"]))
+    return ratios(baseline)
+
+
+def run_frontier(spec, jobs=None):
+    """Sweep the frontier; deterministic, serial == ``--jobs N``."""
+    program_specs = corpus_programs(spec)
+    tele = telemetry.get_registry()
+    with tele.span("frontier", seed=spec.seed, size=spec.size,
+                   n_rates=len(spec.rates),
+                   n_fifos=len(spec.fifo_sizes)):
+        with tele.span("frontier.measure", n_programs=len(program_specs)):
+            records = run_tasks(
+                _measure_item, [(ps, spec) for ps in program_specs],
+                jobs=jobs, phase="frontier.measure",
+                keys=[ps.name for ps in program_specs])
+        if tele.enabled:
+            tele.inc("frontier.points",
+                     len(spec.rates) * len(spec.fifo_sizes))
+    metrics = _reduce(spec, records)
+    return FrontierResult(spec=spec, records=records, metrics=metrics)
+
+
+# -- rendering ---------------------------------------------------------
+
+def frontier_json(result):
+    """Canonical metrics JSON text: the byte-identity artifact."""
+    return json.dumps(result.metrics, sort_keys=True, indent=2) + "\n"
+
+
+def _pct(value):
+    return "-" if value is None else f"{100 * value:.1f}"
+
+
+def format_frontier(result):
+    """Render the Pareto table (``*`` marks non-dominated points)."""
+    spec = result.spec
+    k = spec.top_k
+    rows = []
+    for p in result.metrics["points"]:
+        rows.append((
+            f"{p['rate']:g}", str(p["fifo"]),
+            f"{p['overhead_proxy']:.1f}",
+            "-" if p["overhead_vs_full"] is None
+            else f"{p['overhead_vs_full']:.3f}",
+            str(p["deps_shed"]), str(p["deps_tightened"]),
+            str(p["fifo_stalls"]),
+            _pct(p["recall"]), _pct(p["top1"]), _pct(p[f"top{k}"]),
+            "*" if p["pareto"] else ""))
+    table = render_table(
+        ("Rate", "FIFO", "Overhead", "Vs full", "# Shed", "# Tight",
+         "# Stalls",
+         "Recall (%)", "Top-1 (%)", f"Top-{k} (%)", "Pareto"),
+        rows,
+        title=(f"Adaptive-overhead frontier (seed {spec.seed}, "
+               f"{spec.size} programs)"))
+    s = result.metrics["frontier"]
+    top1 = "-" if s["top1"] is None else f"{100 * s['top1']:.1f}%"
+    ratio = ("-" if s["overhead_proxy"] is None
+             else f"{100 * s['overhead_proxy']:.1f}%")
+    summary = (f"frontier pick: rate {s['rate']:g} @ FIFO {s['fifo']} -- "
+               f"{ratio} of full-rate overhead, {top1} of full-rate top-1")
+    return table + "\n" + summary
+
+
+# -- accuracy trajectory (BENCH_accuracy.json) -------------------------
+
+def bench_entry(result):
+    """One deterministic trajectory entry (no timestamps: CI diffs it)."""
+    spec = result.spec
+    return {
+        "experiment": "frontier",
+        "seed": spec.seed, "size": spec.size,
+        "rates": list(spec.rates), "fifo_sizes": list(spec.fifo_sizes),
+        "n_train_runs": spec.n_train_runs,
+        "n_pruning_runs": spec.n_pruning_runs,
+        "frontier": result.metrics["frontier"],
+        "pareto": result.metrics["pareto"],
+    }
+
+
+def append_bench(result, path=DEFAULT_BENCH_PATH):
+    """Append this sweep's summary to the shared accuracy trajectory.
+
+    Same file and dedupe contract as the shootout: an entry equal to
+    the last one is skipped so re-running the same sweep on the same
+    tree never grows the file. Returns the trajectory document.
+    """
+    doc = {"schema": 1, "entries": []}
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    entry = bench_entry(result)
+    if not doc["entries"] or doc["entries"][-1] != entry:
+        doc["entries"].append(entry)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+    return doc
+
+
+def run_frontier_for_preset(preset):
+    """Experiment-registry entry point: frontier at preset scale."""
+    spec = FrontierSpec(seed=preset.corpus_seed, size=preset.corpus_size,
+                        rates=preset.frontier_rates,
+                        fifo_sizes=preset.fifo_sweep,
+                        n_train_runs=preset.corpus_train_runs,
+                        n_pruning_runs=preset.corpus_pruning_runs)
+    return run_frontier(spec, jobs=preset.jobs)

@@ -56,6 +56,10 @@ class Preset:
     # engine; the shootout races the listed ones (empty = all).
     corpus_engine: str = "nn"
     shootout_engines: Tuple[str, ...] = ()
+    # Sampling rates the adaptive-overhead frontier sweeps (1.0 -- the
+    # policy-free baseline -- is always included); FIFO depths reuse
+    # fifo_sweep.
+    frontier_rates: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.25)
 
 
 FULL = Preset(name="full")
@@ -90,6 +94,7 @@ FAST = Preset(
     corpus_size=6,
     corpus_train_runs=4,
     corpus_pruning_runs=6,
+    frontier_rates=(1.0, 0.5),
 )
 
 

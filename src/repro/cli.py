@@ -20,6 +20,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli diagnose gzip --engine pset   # baseline engine
     python -m repro.cli shootout --seed 7 --size 20 \
         --out shootout.json                   # race all engines (Table I)
+    python -m repro.cli diagnose gzip --policy rate=0.5,seed=3,backoff=1
+    python -m repro.cli frontier --seed 7 --size 20 \
+        --out frontier.json     # sampling-rate x FIFO Pareto frontier
     python -m repro.cli serve --state jobs.json --jobs 2 &   # daemon
     python -m repro.cli submit --wait diagnose gzip          # via daemon
     python -m repro.cli status --out status.json
@@ -30,7 +33,9 @@ or a generated one (``gen-<archetype>-<motif>-s<seed>``); ``trace``
 records a workload execution to a JSON-lines trace file; ``experiment``
 regenerates one of the paper's tables/figures; ``corpus`` runs the
 diagnosis-accuracy harness over a seeded generated corpus and prints
-precision/recall/rank tables (see ``docs/accuracy.md``).
+precision/recall/rank tables (see ``docs/accuracy.md``); ``frontier``
+sweeps adaptive sampling rates against FIFO depths and prints the
+overhead-vs-accuracy Pareto table (see ``docs/adaptive.md``).
 ``diagnose``/``trace``/``corpus``/``experiment`` accept ``--telemetry
 PATH`` to export a run profile (counters + nested phase spans, see
 :mod:`repro.telemetry`), ``--events PATH`` to attach the bounded
@@ -107,6 +112,10 @@ def _cmd_corpus(args):
 
 def _cmd_shootout(args):
     return _emit(ops.run_shootout(ops.ShootoutRequest.from_args(args)))
+
+
+def _cmd_frontier(args):
+    return _emit(ops.run_frontier(ops.FrontierRequest.from_args(args)))
 
 
 def _cmd_experiment(args):
@@ -315,6 +324,25 @@ def _add_diagnose_args(d):
     d.add_argument("--quarantine-report", metavar="PATH",
                    help="write the quarantine report (skipped units and "
                         "why) as JSON")
+    _add_policy_arg(d)
+
+
+def _add_policy_arg(cmd):
+    cmd.add_argument("--policy", metavar="SPEC",
+                     help="adaptive tracking policy, e.g. "
+                          "'rate=0.5,seed=3,backoff=1' (seeded sampling + "
+                          "load shedding; NN engine only -- see "
+                          "docs/adaptive.md). Omitted = full-rate "
+                          "tracking, byte-identical to the policy-free "
+                          "pipeline")
+
+
+def _csv_floats(text):
+    return tuple(float(v) for v in text.split(",") if v.strip())
+
+
+def _csv_ints(text):
+    return tuple(int(v) for v in text.split(",") if v.strip())
 
 
 def _add_trace_args(t):
@@ -400,6 +428,7 @@ def _add_corpus_args(c):
     c.add_argument("--quarantine-report", metavar="PATH",
                    help="write the quarantine report (skipped programs "
                         "and why) as JSON")
+    _add_policy_arg(c)
 
 
 def _add_shootout_args(s):
@@ -428,6 +457,49 @@ def _add_shootout_args(s):
                    help="accuracy-trajectory file to append per-engine "
                         "recall/top-1 to (default BENCH_accuracy.json)")
     s.add_argument("--no-bench", action="store_true",
+                   help="do not touch the accuracy-trajectory file")
+
+
+def _add_frontier_args(f):
+    """``frontier`` flags, shared with ``submit frontier``."""
+    f.add_argument("--seed", type=int, default=7,
+                   help="corpus seed (same seed + size => byte-identical "
+                        "metrics JSON, whatever --jobs is)")
+    f.add_argument("--size", type=int, default=20,
+                   help="number of generated programs")
+    f.add_argument("--rates", type=_csv_floats,
+                   default=(1.0, 0.75, 0.5, 0.25), metavar="R,R,...",
+                   help="comma-separated sampling rates to sweep; 1.0 "
+                        "(the policy-free baseline) is always included "
+                        "(default 1.0,0.75,0.5,0.25)")
+    f.add_argument("--fifo-sizes", type=_csv_ints, default=(4, 8, 16),
+                   metavar="N,N,...",
+                   help="comma-separated FIFO depths for the overhead "
+                        "simulation (default 4,8,16)")
+    f.add_argument("--policy-seed", type=int, default=0,
+                   help="seed for the sampling hash (default 0)")
+    f.add_argument("--no-backoff", action="store_true",
+                   help="disable load-shedding backoff at sampled rates")
+    f.add_argument("--no-tighten", action="store_true",
+                   help="disable suspicion-directed tightening (sampled "
+                        "passes then run blind, without the full-rate "
+                        "pass's suspicious-PC feedback)")
+    f.add_argument("--train-runs", type=int, default=6)
+    f.add_argument("--pruning-runs", type=int, default=8)
+    f.add_argument("--seq-len", type=int, default=3)
+    f.add_argument("--top", type=int, default=5, metavar="K",
+                   help="k for the top-k metric")
+    f.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for independent programs "
+                        "(results identical to serial; 0 = all CPUs)")
+    f.add_argument("--out", metavar="PATH",
+                   help="write the canonical frontier metrics JSON "
+                        "to PATH")
+    f.add_argument("--bench", metavar="PATH",
+                   default="BENCH_accuracy.json",
+                   help="accuracy-trajectory file to append the frontier "
+                        "pick to (default BENCH_accuracy.json)")
+    f.add_argument("--no-bench", action="store_true",
                    help="do not touch the accuracy-trajectory file")
 
 
@@ -476,6 +548,13 @@ def build_parser():
     _add_shootout_args(sh)
     _add_telemetry_args(sh)
 
+    fr = sub.add_parser(
+        "frontier",
+        help="sweep sampling rates x FIFO depths over a generated "
+             "corpus into an adaptive-overhead Pareto table")
+    _add_frontier_args(fr)
+    _add_telemetry_args(fr)
+
     e = sub.add_parser("experiment", help="regenerate a table/figure")
     e.add_argument("name", choices=experiment_names())
     e.add_argument("--preset", choices=("fast", "bench", "full"),
@@ -521,10 +600,11 @@ def build_parser():
                     help="--wait limit in seconds (default 600)")
     sbsub = sb.add_subparsers(
         dest="kind", required=True,
-        metavar="{diagnose,corpus,shootout,trace,profile}")
+        metavar="{diagnose,corpus,shootout,frontier,trace,profile}")
     _add_diagnose_args(sbsub.add_parser("diagnose"))
     _add_corpus_args(sbsub.add_parser("corpus"))
     _add_shootout_args(sbsub.add_parser("shootout"))
+    _add_frontier_args(sbsub.add_parser("frontier"))
     _add_trace_args(sbsub.add_parser("trace"))
     _add_profile_args(sbsub.add_parser("profile"))
 
@@ -573,6 +653,7 @@ def main(argv=None):
         "profile": _cmd_profile,
         "corpus": _cmd_corpus,
         "shootout": _cmd_shootout,
+        "frontier": _cmd_frontier,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "submit": _cmd_submit,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro import telemetry
+from repro.core import policy as _policy
 from repro.core.buffers import DebugBuffer, DebugEntry, InputGeneratorBuffer
 from repro.core.config import ACTConfig
 from repro.nn.network import OneHiddenLayerNet, SigmoidTable
@@ -102,6 +103,12 @@ class ACTModule:
         self._window_count = 0
         self.stats = AMStats(window_rates=deque(
             maxlen=self.config.window_rate_tail))
+        # Adaptive-tracking policy: resolved from the ambient context at
+        # construction (deploy/sim build fresh modules per replay). With
+        # the NULL_POLICY this is None and process_dep pays exactly one
+        # attribute check -- the policy-off byte-identity contract.
+        active = _policy.get_policy()
+        self.policy_state = active.state() if active.enabled else None
 
     # ------------------------------------------------------------------
 
@@ -109,8 +116,14 @@ class ACTModule:
         """Handle one RAW dependence; return the prediction, if one formed.
 
         Returns None while the input buffer is still warming up (fewer
-        than ``N`` dependences seen).
+        than ``N`` dependences seen), or when an active sampling policy
+        sheds the dependence (it then never reaches the AM: no stats,
+        no buffer push, no prediction -- the hardware simply did not
+        trace it; sequences form over the sampled stream).
         """
+        pstate = self.policy_state
+        if pstate is not None and not pstate.admit(dep, self.tid):
+            return None
         self.stats.deps_processed += 1
         telemetry.get_registry().inc("act.deps_processed")
         self.input_buffer.push(dep)

@@ -55,6 +55,15 @@ class InputGeneratorBuffer:
         self._pushes += len(deps)
         self._deps.extend(deps)
 
+    @property
+    def pushes(self):
+        """Total dependences ever pushed (the per-core ordinal that keys
+        deterministic per-push decisions -- fault-plan FIFO overruns
+        here, and the sampling draws in :mod:`repro.core.policy`, which
+        gate *before* the push so a shed dependence never advances this
+        counter)."""
+        return self._pushes
+
     def tail(self, k):
         """The newest ``k`` dependences, oldest first (fewer while the
         buffer is still warming up)."""

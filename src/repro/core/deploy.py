@@ -14,6 +14,7 @@ import numpy as np
 from repro import faults as _faults
 from repro import telemetry
 from repro.common.errors import FaultInjected
+from repro.core import policy as _policy
 from repro.trace.raw import RawDepExtractor
 
 
@@ -44,6 +45,19 @@ class DeploymentResult:
     @property
     def n_mode_switches(self):
         return sum(m.stats.mode_switches for m in self.modules.values())
+
+    @property
+    def n_shed(self):
+        """Dependences dropped by the active sampling policy (0 when
+        the replay ran policy-free)."""
+        return sum(m.policy_state.shed for m in self.modules.values()
+                   if m.policy_state is not None)
+
+    @property
+    def n_tightened(self):
+        """Dependences force-admitted by suspicion tightening."""
+        return sum(m.policy_state.tightened for m in self.modules.values()
+                   if m.policy_state is not None)
 
 
 def _heal_module(module, trained, tid, quarantine):
@@ -88,7 +102,9 @@ def deploy_on_run(trained, run, keep_records=False, fast=True,
             (:mod:`repro.core.fastpath`), which is bit-identical to the
             scalar replay; pass ``fast=False`` to force the reference
             per-dependence path. An active fault plan also forces the
-            scalar path -- the per-push FIFO-overrun site lives there.
+            scalar path -- the per-push FIFO-overrun site lives there --
+            as does an active sampling policy (the per-dependence admit
+            gate is scalar-path-only; see :mod:`repro.core.policy`).
         chunk_size: fast-path chunk size override (None for the default).
         quarantine: optional :class:`~repro.faults.Quarantine`; records
             healed weight damage instead of replaying with NaN weights.
@@ -98,7 +114,8 @@ def deploy_on_run(trained, run, keep_records=False, fast=True,
         in their end-of-run state.
     """
     plan = _faults.get_plan()
-    if plan.enabled:
+    active_policy = _policy.get_policy()
+    if plan.enabled or active_policy.enabled:
         fast = False
     heal = plan.enabled or quarantine is not None
     if fast:

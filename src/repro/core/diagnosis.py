@@ -27,7 +27,8 @@ from typing import Optional
 
 from repro import faults as _faults
 from repro import telemetry
-from repro.common.errors import ReproError
+from repro.common.errors import ConfigError, ReproError
+from repro.core import policy as _policy
 from repro.core.config import ACTConfig
 from repro.core.deploy import deploy_on_run
 from repro.core.offline import (OfflineTrainer, TrainedACT,
@@ -80,11 +81,12 @@ class DiagnosisReport:
 
 def _fingerprint(program, config, n_train_runs, train_seed0, failure_seed,
                  n_pruning_runs, pruning_seed0, failure_params,
-                 correct_params, pruning_params, root_cause):
+                 correct_params, pruning_params, root_cause, policy=None):
     """Checkpoint identity for one diagnosis: everything that shapes the
     result. ``jobs``/``fast`` are excluded -- they never change outputs,
-    so a serial run may resume a parallel one and vice versa."""
-    return {
+    so a serial run may resume a parallel one and vice versa. A disabled
+    policy is elided so pre-policy checkpoints keep resuming."""
+    fp = {
         "program": getattr(program, "name", "?"),
         "config": asdict(config),
         "n_train_runs": n_train_runs, "train_seed0": train_seed0,
@@ -95,6 +97,9 @@ def _fingerprint(program, config, n_train_runs, train_seed0, failure_seed,
         "root_cause": (sorted([int(s), int(l)] for s, l in root_cause)
                        if root_cause else None),
     }
+    if policy is not None and policy.enabled:
+        fp["policy"] = policy.fingerprint()
+    return fp
 
 
 def _report_to_payload(report):
@@ -169,7 +174,7 @@ def diagnose_failure(program, config=None, trained=None,
                      fast=True, jobs=None,
                      faults=None, quarantine=None, checkpoint=None,
                      trained_sink=None, engine=None, engine_state=None,
-                     engine_state_sink=None):
+                     engine_state_sink=None, policy=None):
     """Diagnose ``program``'s failure with the full ACT pipeline.
 
     Args:
@@ -220,22 +225,37 @@ def diagnose_failure(program, config=None, trained=None,
         engine_state_sink: callable receiving the engine's serialized
             state once training is in hand (the engine-generic analogue
             of ``trained_sink``).
+        policy: :class:`~repro.core.policy.PolicySpec` governing
+            adaptive tracking during the failure-run deployment
+            (defaults to the ambient policy; a disabled policy is a
+            no-op and preserves bit-identical output). NN path only:
+            an enabled policy with a non-``"nn"`` engine raises
+            :class:`ConfigError`. Training and pruning runs are never
+            sampled -- only the production deployment is.
 
     Returns:
         :class:`DiagnosisReport`.
     """
+    active_policy = policy if policy is not None else _policy.get_policy()
+    if engine is not None and engine != "nn" and active_policy.enabled:
+        raise ConfigError(
+            f"adaptive policy is NN-path-only; engine {engine!r} does "
+            "not support --policy")
     if engine is not None:
         from repro.engines.registry import create
 
-        return create(engine, config=config).diagnose_report(
-            program, trained=trained, n_train_runs=n_train_runs,
-            train_seed0=train_seed0, failure_seed=failure_seed,
-            n_pruning_runs=n_pruning_runs, pruning_seed0=pruning_seed0,
-            failure_params=failure_params, correct_params=correct_params,
-            pruning_params=pruning_params, root_cause=root_cause,
-            fast=fast, jobs=jobs, faults=faults, quarantine=quarantine,
-            checkpoint=checkpoint, trained_sink=trained_sink,
-            state=engine_state, state_sink=engine_state_sink)
+        # The "nn" engine delegates straight back to this function; the
+        # ambient context carries the policy across that hop.
+        with _policy.use_policy(active_policy):
+            return create(engine, config=config).diagnose_report(
+                program, trained=trained, n_train_runs=n_train_runs,
+                train_seed0=train_seed0, failure_seed=failure_seed,
+                n_pruning_runs=n_pruning_runs, pruning_seed0=pruning_seed0,
+                failure_params=failure_params, correct_params=correct_params,
+                pruning_params=pruning_params, root_cause=root_cause,
+                fast=fast, jobs=jobs, faults=faults, quarantine=quarantine,
+                checkpoint=checkpoint, trained_sink=trained_sink,
+                state=engine_state, state_sink=engine_state_sink)
     config = config or ACTConfig()
     failure_params = dict(failure_params or {"buggy": True})
     correct_params = dict(correct_params or {"buggy": False})
@@ -246,10 +266,10 @@ def diagnose_failure(program, config=None, trained=None,
         fingerprint = _fingerprint(
             program, config, n_train_runs, train_seed0, failure_seed,
             n_pruning_runs, pruning_seed0, failure_params, correct_params,
-            pruning_params, root_cause)
+            pruning_params, root_cause, policy=active_policy)
         checkpoint = Checkpoint.open(checkpoint, "diagnosis", fingerprint)
     tele = telemetry.get_registry()
-    with _faults.use_plan(plan):
+    with _faults.use_plan(plan), _policy.use_policy(active_policy):
         with tele.span("diagnose", program=getattr(program, "name", "?")):
             return _diagnose_phases(
                 program, config, trained, tele, n_train_runs, train_seed0,
@@ -318,6 +338,12 @@ def _diagnose_phases(program, config, trained, tele, n_train_runs,
     report.n_deps = deployment.n_deps
     report.n_invalid = deployment.n_invalid
     report.mode_switches = deployment.n_mode_switches
+    active_policy = _policy.get_policy()
+    if active_policy.enabled:
+        report.notes.append(
+            f"adaptive policy active ({active_policy.describe()}): "
+            f"shed {deployment.n_shed} of {deployment.n_deps} deps, "
+            f"tightened {deployment.n_tightened}")
     if tele.enabled:
         tele.inc("diagnose.deps_observed", deployment.n_deps)
         tele.inc("diagnose.invalids_flagged", deployment.n_invalid)

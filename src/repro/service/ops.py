@@ -103,6 +103,7 @@ class DiagnoseRequest:
     fast: bool = True
     engine: str = "nn"
     faults: Optional[str] = None
+    policy: Optional[str] = None
     quarantine_report: Optional[str] = None
     checkpoint: Optional[str] = None
     resume: Optional[str] = None
@@ -117,8 +118,31 @@ class DiagnoseRequest:
                    debug_buffer=args.debug_buffer,
                    threshold=args.threshold, top=args.top, jobs=args.jobs,
                    fast=args.fast, engine=args.engine, faults=args.faults,
+                   policy=args.policy,
                    quarantine_report=args.quarantine_report,
                    checkpoint=args.checkpoint, resume=args.resume)
+
+
+def _parse_policy(req, engine="nn"):
+    """Resolve a request's ``--policy SPEC``; (policy, error Outcome).
+
+    The adaptive layer is NN-path-only: an enabled policy with any
+    other engine is rejected here with a CLI-shaped error instead of a
+    traceback. ``None`` spec means "no policy" (the historical
+    pipeline, byte-identical).
+    """
+    if not req.policy:
+        return None, None
+    from repro.core.policy import PolicySpec
+
+    try:
+        policy = PolicySpec.from_spec(req.policy)
+    except ReproError as e:
+        return None, _fail(f"error: bad --policy spec: {e}")
+    if policy.enabled and engine != "nn":
+        return None, _fail(f"error: --policy is NN-path-only; engine "
+                           f"{engine!r} does not support it")
+    return policy, None
 
 
 def _quarantine_lines(quarantine, report_path):
@@ -165,16 +189,21 @@ def run_diagnose(req, warm=None):
             plan = FaultPlan.from_spec(req.faults)
         except ReproError as e:
             return _fail(f"error: bad --faults spec: {e}")
+    policy, policy_err = _parse_policy(req, engine)
+    if policy_err is not None:
+        return policy_err
     quarantine = None
     if plan is not None or req.quarantine_report:
         quarantine = Quarantine()
 
     # Warm-state reuse: only when nothing perturbs training (a fault
     # plan can damage training runs; a checkpoint already carries its
-    # own trained snapshot). The key holds everything that shapes the
-    # trained state -- failure/pruning seeds deliberately excluded --
-    # plus the engine fingerprint, so two engines on the same workload
-    # never share an entry.
+    # own trained snapshot). An active --policy does NOT block reuse:
+    # sampling gates the failure-run deployment only, never training,
+    # so the cached trained state stays exactly right. The key holds
+    # everything that shapes the trained state -- failure/pruning seeds
+    # deliberately excluded -- plus the engine fingerprint, so two
+    # engines on the same workload never share an entry.
     trained = None
     trained_sink = None
     engine_state = None
@@ -214,7 +243,8 @@ def run_diagnose(req, warm=None):
                                   engine=(engine if engine != "nn"
                                           else None),
                                   engine_state=engine_state,
-                                  engine_state_sink=engine_state_sink)
+                                  engine_state_sink=engine_state_sink,
+                                  policy=policy)
     except CheckpointError as e:
         return _fail(f"error: {e}")
     if report.engine is not None:
@@ -308,6 +338,7 @@ class CorpusRequest:
     trace_dir: Optional[str] = None
     trace_format: str = "columnar"
     faults: Optional[str] = None
+    policy: Optional[str] = None
     quarantine_report: Optional[str] = None
     checkpoint: Optional[str] = None
     resume: Optional[str] = None
@@ -322,6 +353,7 @@ class CorpusRequest:
                    top=args.top, jobs=args.jobs, engine=args.engine,
                    out=args.out, trace_dir=args.trace_dir,
                    trace_format=args.trace_format, faults=args.faults,
+                   policy=args.policy,
                    quarantine_report=args.quarantine_report,
                    checkpoint=args.checkpoint, resume=args.resume)
 
@@ -363,13 +395,16 @@ def run_corpus(req):
             plan = FaultPlan.from_spec(req.faults)
         except ReproError as e:
             return _fail(f"error: bad --faults spec: {e}")
+    policy, policy_err = _parse_policy(req, engine)
+    if policy_err is not None:
+        return policy_err
     quarantine = None
     if plan is not None or req.quarantine_report:
         quarantine = Quarantine()
     spec = CorpusSpec(seed=req.seed, size=req.size, top_k=req.top,
                       n_train_runs=req.train_runs,
                       n_pruning_runs=req.pruning_runs,
-                      engine=engine,
+                      engine=engine, policy=policy,
                       config=ACTConfig(seq_len=req.seq_len))
     try:
         result = run_corpus(spec, jobs=req.jobs, faults=plan,
@@ -466,6 +501,85 @@ def run_shootout(req):
     if req.out:
         with open(req.out, "w", encoding="utf-8") as f:
             f.write(shootout_json(result))
+        lines.append(f"metrics written to {req.out}")
+    if req.bench:
+        doc = append_bench(result, req.bench)
+        lines.append(f"accuracy trajectory: {req.bench} "
+                     f"({len(doc['entries'])} entries)")
+    return Outcome(rc=0, out="\n".join(lines),
+                   payload={"metrics": result.metrics})
+
+
+# ---------------------------------------------------------------------
+# frontier
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FrontierRequest:
+    """``repro frontier`` as data (defaults match the CLI flags)."""
+
+    seed: int = 7
+    size: int = 20
+    rates: Tuple[float, ...] = (1.0, 0.75, 0.5, 0.25)
+    fifo_sizes: Tuple[int, ...] = (4, 8, 16)
+    policy_seed: int = 0
+    backoff: bool = True
+    tighten: bool = True
+    train_runs: int = 6
+    pruning_runs: int = 8
+    seq_len: int = 3
+    top: int = 5
+    jobs: Optional[int] = None
+    out: Optional[str] = None
+    bench: Optional[str] = None
+
+    kind = "frontier"
+
+    @classmethod
+    def from_args(cls, args):
+        bench = None if args.no_bench else args.bench
+        return cls(seed=args.seed, size=args.size,
+                   rates=tuple(args.rates), fifo_sizes=tuple(args.fifo_sizes),
+                   policy_seed=args.policy_seed, backoff=not args.no_backoff,
+                   tighten=not args.no_tighten,
+                   train_runs=args.train_runs,
+                   pruning_runs=args.pruning_runs, seq_len=args.seq_len,
+                   top=args.top, jobs=args.jobs, out=args.out, bench=bench)
+
+
+def run_frontier(req):
+    """Sweep sampling rates x FIFO depths into a Pareto table."""
+    from repro.analysis.frontier import (
+        FrontierSpec,
+        append_bench,
+        format_frontier,
+        frontier_json,
+        run_frontier,
+    )
+
+    for path in (req.out, req.bench):
+        if path:
+            out_dir = os.path.dirname(path)
+            if out_dir and not os.path.isdir(out_dir):
+                return _fail(f"error: output directory {out_dir!r} "
+                             "does not exist")
+    try:
+        spec = FrontierSpec(seed=req.seed, size=req.size,
+                            rates=tuple(req.rates),
+                            fifo_sizes=tuple(req.fifo_sizes),
+                            policy_seed=req.policy_seed,
+                            backoff=req.backoff, tighten=req.tighten,
+                            top_k=req.top,
+                            n_train_runs=req.train_runs,
+                            n_pruning_runs=req.pruning_runs,
+                            config=ACTConfig(seq_len=req.seq_len))
+    except ReproError as e:
+        return _fail(f"error: {e}")
+    result = run_frontier(spec, jobs=req.jobs)
+    lines = [format_frontier(result)]
+    if req.out:
+        with open(req.out, "w", encoding="utf-8") as f:
+            f.write(frontier_json(result))
         lines.append(f"metrics written to {req.out}")
     if req.bench:
         doc = append_bench(result, req.bench)
@@ -672,6 +786,7 @@ REQUEST_TYPES = {
     "diagnose": DiagnoseRequest,
     "corpus": CorpusRequest,
     "shootout": ShootoutRequest,
+    "frontier": FrontierRequest,
     "trace": TraceRequest,
     "profile": ProfileRequest,
 }
@@ -680,6 +795,7 @@ _RUNNERS = {
     "diagnose": run_diagnose,
     "corpus": run_corpus,
     "shootout": run_shootout,
+    "frontier": run_frontier,
     "trace": run_trace,
     "profile": run_profile,
 }

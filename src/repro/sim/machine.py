@@ -34,7 +34,16 @@ _SAMPLE_EVERY = 256
 
 @dataclass
 class MachineResult:
-    """Outcome of one timed replay."""
+    """Outcome of one timed replay.
+
+    ``overhead_proxy`` is the adaptive-tracking cost figure the
+    ``frontier`` experiment sweeps (see docs/adaptive.md): the traced
+    dependence count scaled by the mean input-FIFO occupancy observed
+    at each offer, ``deps_offered * (1 + mean_occupancy)``. Sampling
+    lowers both factors; a deeper FIFO trades stalls for occupancy.
+    ``deps_shed`` counts dependences an active policy dropped before
+    they could reach the NN pipeline (0 on a policy-free replay).
+    """
 
     cycles: int
     core_cycles: Dict[int, float]
@@ -43,6 +52,10 @@ class MachineResult:
     deps_stalled: int = 0
     mem_stats: dict = field(default_factory=dict)
     act_modules: Optional[dict] = None
+    deps_shed: int = 0
+    deps_tightened: int = 0
+    mean_occupancy: float = 0.0
+    overhead_proxy: float = 0.0
 
     @property
     def max_core(self):
@@ -95,6 +108,8 @@ class Machine:
         stall_total = 0.0
         deps_offered = 0
         deps_stalled = 0
+        occ_sum = 0.0
+        occ_n = 0
         filter_stack = (self._act_cfg.filter_stack_loads
                         if self._act_cfg else True)
         tele = telemetry.get_registry()
@@ -119,9 +134,17 @@ class Machine:
                     if pred is not None:
                         deps_offered += 1
                         training = module.mode is Mode.TRAINING
+                        occupancy = pipe.occupancy(int(clock))
+                        occ_sum += occupancy
+                        occ_n += 1
+                        pstate = module.policy_state
+                        if pstate is not None:
+                            # The backoff control signal: FIFO pressure
+                            # as a fraction of depth, fed per offer.
+                            pstate.note_occupancy(
+                                occupancy / pipe.fifo_depth)
                         if track:
-                            tele.observe("sim.fifo_occupancy",
-                                         pipe.occupancy(int(clock)))
+                            tele.observe("sim.fifo_occupancy", occupancy)
                             if deps_offered % _SAMPLE_EVERY == 0:
                                 # Periodic flight-recorder sample: the
                                 # event-rate/stall signal the adaptive
@@ -139,6 +162,8 @@ class Machine:
                             stall_total += stall
                             clock = float(retry)
                             pipe.offer(int(clock), training=training)
+                            if pstate is not None:
+                                pstate.note_stall()
                             if track:
                                 tele.inc("sim.fifo_stalls")
                                 tele.inc("sim.act_stall_cycles", stall)
@@ -151,17 +176,30 @@ class Machine:
             clocks[core] = clock
 
         cycles = int(max(clocks.values())) if clocks else 0
+        mean_occ = occ_sum / occ_n if occ_n else 0.0
+        proxy = deps_offered * (1.0 + mean_occ)
+        deps_shed = sum(m.policy_state.shed
+                        for m in self._modules.values()
+                        if m.policy_state is not None)
+        deps_tightened = sum(m.policy_state.tightened
+                             for m in self._modules.values()
+                             if m.policy_state is not None)
         if track:
             tele.inc("sim.runs")
             tele.inc("sim.cycles", cycles)
             tele.inc("sim.deps_offered", deps_offered)
+            tele.set_gauge("sim.overhead_proxy", round(proxy, 4))
             self.memory.publish_telemetry(tele)
         return MachineResult(cycles=cycles, core_cycles=clocks,
                              act_stall_cycles=stall_total,
                              deps_offered=deps_offered,
                              deps_stalled=deps_stalled,
                              mem_stats=dict(self.memory.stats),
-                             act_modules=self._modules or None)
+                             act_modules=self._modules or None,
+                             deps_shed=deps_shed,
+                             deps_tightened=deps_tightened,
+                             mean_occupancy=mean_occ,
+                             overhead_proxy=proxy)
 
 
 def simulate_run(run, params=None, trained=None, act_config=None):

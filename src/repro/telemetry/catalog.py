@@ -69,6 +69,14 @@ CATALOG = (
                "trace replays through per-core AMs"),
     MetricSpec("deploy.fast_runs", COUNTER, "core.deploy",
                "replays routed through the batched fast path"),
+    MetricSpec("policy.deps_sampled", COUNTER, "core.policy",
+               "dependences admitted by an active sampling policy"),
+    MetricSpec("policy.deps_shed", COUNTER, "core.policy",
+               "dependences dropped by an active sampling policy"),
+    MetricSpec("policy.deps_tightened", COUNTER, "core.policy",
+               "dependences force-admitted by suspicion tightening"),
+    MetricSpec("policy.shed_windows", COUNTER, "core.policy",
+               "backoff control windows that engaged load shedding"),
     MetricSpec("deploy.deps", COUNTER, "core.deploy",
                "dependences fed to AMs during replays"),
     # -- batched replay fast path (core.fastpath) ----------------------
@@ -147,6 +155,8 @@ CATALOG = (
                "diagnoses completed by registry-routed (non-NN) engines"),
     MetricSpec("shootout.engines", COUNTER, "analysis.shootout",
                "engines raced to completion by the shootout harness"),
+    MetricSpec("frontier.points", COUNTER, "analysis.frontier",
+               "rate x FIFO sweep points measured by the frontier"),
     # -- offline training (core.offline / nn.trainer) ------------------
     MetricSpec("offline.correct_runs", COUNTER, "core.offline",
                "correct executions collected for training/pruning"),
@@ -179,6 +189,9 @@ CATALOG = (
                "cycles lost to those FIFO stalls"),
     MetricSpec("sim.fifo_occupancy", HISTOGRAM, "sim.machine",
                "NN-pipeline FIFO occupancy at each offer"),
+    MetricSpec("sim.overhead_proxy", GAUGE, "sim.machine",
+               "adaptive-tracking cost of the most recent replay "
+               "(deps offered x (1 + mean FIFO occupancy))"),
     MetricSpec("sim.cache.loads", COUNTER, "sim.coherence",
                "loads issued to the memory system"),
     MetricSpec("sim.cache.stores", COUNTER, "sim.coherence",

@@ -77,6 +77,12 @@ CODE_KINDS = {code: kind for kind, code in KIND_CODES.items()}
 POISONED_KIND = 255
 FLAG_STACK = 0x1
 FLAG_TAKEN = 0x2
+#: Set on records an active sampling policy would trace (see
+#: :mod:`repro.core.policy`). Readers that predate the bit ignore it
+#: (decoding masks only the bits it knows), so a sampled trace stays
+#: readable everywhere; with no policy the bit is never written and the
+#: output is byte-identical to the pre-policy format.
+FLAG_SAMPLED = 0x4
 
 
 def is_columnar(path):
@@ -146,15 +152,38 @@ def _decode_events(cols, n, path="<memory>", recover=False, tele=None):
     return events, skipped
 
 
-def _faulted_columns(events, plan, tele):
+def _sampled_mask(events, policy):
+    """Per-event sampling decisions, aligned with ``events``.
+
+    The hash key is ``(tid, per-tid record ordinal)`` over the original
+    stream, so the mask is a pure function of the run and the policy --
+    independent of fault reordering, worker count, or write order.
+    """
+    counters = {}
+    mask = np.zeros(len(events), dtype=bool)
+    for i, e in enumerate(events):
+        ordinal = counters.get(e.tid, 0) + 1
+        counters[e.tid] = ordinal
+        if policy.samples_record(e.tid, ordinal, pc=e.pc):
+            mask[i] = True
+    return mask
+
+
+def _faulted_columns(events, plan, tele, sampled=None):
     """Column arrays with the plan's trace faults applied.
 
     Decisions come from the shared :func:`fault_decisions`, so the
     damaged record set is identical to the JSON-lines writer's;
     corruption poisons the kind byte instead of truncating a line.
+    ``sampled`` (a boolean mask over the *original* events) marks the
+    surviving records' FLAG_SAMPLED bits before reordering.
     """
     kept, corrupt, order = fault_decisions(len(events), plan, tele)
     cols = pack_events([events[i] for i in kept])
+    if sampled is not None:
+        for pos, index in enumerate(kept):
+            if sampled[index]:
+                cols["flags"][pos] |= FLAG_SAMPLED
     if corrupt:
         position = {index: pos for pos, index in enumerate(kept)}
         for index in corrupt:
@@ -165,18 +194,29 @@ def _faulted_columns(events, plan, tele):
     return cols
 
 
-def write_trace_columnar(run, path, faults=None):
+def write_trace_columnar(run, path, faults=None, policy=None):
     """Write a :class:`TraceRun` to ``path`` in the columnar format.
 
     Honours the active :class:`~repro.faults.FaultPlan` exactly like
     the JSON-lines writer (same decisions, format-native damage); with
-    a zero plan the output is byte-identical across reruns.
+    a zero plan the output is byte-identical across reruns. An enabled
+    :class:`~repro.core.policy.PolicySpec` (``policy`` argument,
+    falling back to the ambient policy) stamps FLAG_SAMPLED on the
+    records its rate/suspicion decision would trace -- backoff is a
+    runtime signal and does not apply at write time. A disabled policy
+    writes byte-identical output to the pre-policy format.
     """
+    from repro.core import policy as _policy
     plan = faults if faults is not None else _faults.get_plan()
+    pol = policy if policy is not None else _policy.get_policy()
+    sampled = _sampled_mask(run.events, pol) if pol.enabled else None
     if plan.enabled:
-        cols = _faulted_columns(run.events, plan, telemetry.get_registry())
+        cols = _faulted_columns(run.events, plan, telemetry.get_registry(),
+                                sampled=sampled)
     else:
         cols = pack_events(run.events)
+        if sampled is not None:
+            cols["flags"][sampled] |= FLAG_SAMPLED
     n_events = int(cols["tid"].size)
     chunks = []
     column_spec = []

@@ -99,7 +99,7 @@ def _faulted_lines(events, plan, tele):
     return [lines[pos] for pos in order]
 
 
-def write_trace(run, path, faults=None, trace_format=None):
+def write_trace(run, path, faults=None, trace_format=None, policy=None):
     """Write a :class:`TraceRun` to ``path``.
 
     ``trace_format`` selects the on-disk representation: ``"jsonl"``
@@ -112,6 +112,11 @@ def write_trace(run, path, faults=None, trace_format=None):
     reorder event records on the way out; the header is always written
     intact. With a zero plan the output is byte-identical to the
     fault-free writer.
+
+    ``policy`` (an enabled :class:`~repro.core.policy.PolicySpec`) is
+    honoured by the columnar format only, which has a per-record flags
+    byte to stamp the FLAG_SAMPLED bit into; the JSON-lines format has
+    no record flags and ignores it.
     """
     if trace_format not in (None, "jsonl"):
         if trace_format != "columnar":
@@ -119,7 +124,8 @@ def write_trace(run, path, faults=None, trace_format=None):
                              f"(expected one of {TRACE_FORMATS})")
         from repro.trace import columnar
 
-        columnar.write_trace_columnar(run, path, faults=faults)
+        columnar.write_trace_columnar(run, path, faults=faults,
+                                      policy=policy)
         return
     plan = faults if faults is not None else _faults.get_plan()
     with open(path, "w", encoding="utf-8") as f:

@@ -131,11 +131,15 @@ class TestGate:
         assert entry["metrics"]["parallel.speedup_warm"] == 2.8
 
 
-def _full_payload(speedup=3.0, pspeed=0.9, wall=5.0):
+def _full_payload(speedup=3.0, pspeed=0.9, wall=5.0, overhead=0.5,
+                  top1=1.0):
     payload = _payload(speedup=speedup)
     payload["parallel"]["speedup"] = pspeed
     payload["trace_io"] = {"read_speedup": 2.0, "write_speedup": 3.0}
     payload["corpus_wall_seconds"] = wall
+    payload["frontier"] = {"rate": 0.5, "fifo": 4,
+                           "overhead_proxy": overhead, "top1": top1,
+                           "recall": 1.0}
     return payload
 
 
@@ -185,6 +189,52 @@ class TestDirectionalGates:
         skipped = {s["metric"] for s in skips}
         assert "corpus_wall_seconds" in skipped
         assert "parallel.speedup" in skipped
+
+    def test_frontier_overhead_growth_fails(self, tmp_path):
+        # The pick suddenly costing >50% more of full-rate overhead
+        # means sampling stopped paying for itself.
+        _run(tmp_path, _full_payload(overhead=0.5))
+        rc, _ = _run(tmp_path, _full_payload(overhead=0.7))  # +40% < 50%
+        assert rc == 0
+        _run(tmp_path, _full_payload(overhead=0.5), history="h2.jsonl")
+        rc, text = _run(tmp_path, _full_payload(overhead=0.8),  # +60%
+                        history="h2.jsonl")
+        assert rc == 1
+        assert "frontier.overhead_proxy" in text
+
+    def test_frontier_top1_collapse_fails(self, tmp_path):
+        _run(tmp_path, _full_payload(top1=1.0))
+        rc, _ = _run(tmp_path, _full_payload(top1=0.8))  # -20% < 25%
+        assert rc == 0
+        _run(tmp_path, _full_payload(top1=1.0), history="h2.jsonl")
+        rc, text = _run(tmp_path, _full_payload(top1=0.6),  # -40% > 25%
+                        history="h2.jsonl")
+        assert rc == 1
+        assert "frontier.top1" in text
+
+    def test_frontier_recall_is_tracked_not_gated(self, tmp_path):
+        _run(tmp_path, _full_payload())
+        worse = _full_payload()
+        worse["frontier"]["recall"] = 0.1
+        rc, _ = _run(tmp_path, worse)
+        assert rc == 0
+        entries = trend.load_history(tmp_path / "hist.jsonl")
+        assert entries[-1]["metrics"]["frontier.recall"] == 0.1
+
+    def test_unavailable_gate_is_logged_every_run(self, tmp_path):
+        # A gated metric the payload never produced must be called out
+        # even on the very first run (no history yet): silence here is
+        # how gates die without anyone noticing.
+        rc, text = _run(tmp_path, _payload())
+        assert rc == 0
+        assert ("gate unavailable: corpus_wall_seconds "
+                "(not in bench payload)") in text
+        assert "gate unavailable: frontier.top1" in text
+        assert "gate unavailable: frontier.overhead_proxy" in text
+        # A full payload leaves nothing unavailable.
+        rc, text = _run(tmp_path, _full_payload())
+        assert rc == 0
+        assert "gate unavailable" not in text
 
     def test_trace_io_speedups_are_tracked_not_gated(self, tmp_path):
         _run(tmp_path, _full_payload())
